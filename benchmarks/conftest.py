@@ -1,0 +1,28 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one exhibit of the paper.  The sample length per
+workload is deliberately small by default so the whole harness runs in a few
+minutes; set ``REPRO_INSTRUCTIONS`` to a larger value (the paper uses
+1-billion-instruction samples in gem5) for higher-fidelity numbers.
+"""
+
+import os
+
+import pytest
+
+from repro.sim.runner import ExperimentRunner
+
+#: Default per-workload sample length for the benchmark harness.
+BENCH_INSTRUCTIONS = int(os.environ.get("REPRO_INSTRUCTIONS", "1000"))
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    """One shared runner so benchmarks reuse cached baseline simulations."""
+    return ExperimentRunner(instructions=BENCH_INSTRUCTIONS)
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,45 @@
+"""Design-space exploration of the speculative filter cache.
+
+Reproduces the tuning analysis of section 6.4 on a configurable subset of
+Parsec: sweeps the filter-cache size (Figure 5) and associativity
+(Figure 6) and prints the normalised execution times, so the 2 KiB /
+4-way design point the paper settles on can be checked.
+
+Run with:  python examples/design_space_exploration.py [instructions]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments.figures import figure5, figure6
+from repro.sim.runner import ExperimentRunner
+
+BENCHMARKS = ["blackscholes", "streamcluster", "freqmine", "swaptions"]
+
+
+def main() -> None:
+    instructions = int(sys.argv[1]) if len(sys.argv) > 1 else 2000
+    runner = ExperimentRunner(instructions=instructions)
+
+    size_sweep = figure5(runner, benchmarks=BENCHMARKS)
+    print(size_sweep.description)
+    print(size_sweep.format_table())
+    print()
+
+    associativity_sweep = figure6(runner, benchmarks=BENCHMARKS)
+    print(associativity_sweep.description)
+    print(associativity_sweep.format_table())
+    print()
+
+    best_size = min(size_sweep.geomeans, key=size_sweep.geomeans.get)
+    best_ways = min(associativity_sweep.geomeans,
+                    key=associativity_sweep.geomeans.get)
+    print(f"best size in this sweep: {best_size} "
+          f"(geomean {size_sweep.geomeans[best_size]:.3f})")
+    print(f"best associativity in this sweep: {best_ways} "
+          f"(geomean {associativity_sweep.geomeans[best_ways]:.3f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Quickstart: simulate one workload under MuonTrap and the baseline.
+
+Builds the Table 1 system twice (unprotected and MuonTrap), runs the same
+synthetic SPEC CPU2006 workload on both, and prints the normalised execution
+time together with the filter-cache statistics that explain it.
+
+Run with:  python examples/quickstart.py [benchmark] [instructions]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.common.params import ProtectionMode, SystemConfig
+from repro.core.muontrap import MuonTrapMemorySystem
+from repro.experiments.table1 import format_table1
+from repro.sim.simulator import Simulator
+from repro.sim.system import build_system
+from repro.workloads.generator import generate_workload
+from repro.workloads.profiles import get_profile
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "povray"
+    instructions = int(sys.argv[2]) if len(sys.argv) > 2 else 8000
+
+    print("Simulated system (Table 1 of the paper):")
+    print(format_table1())
+    print()
+
+    profile = get_profile(benchmark)
+    workload = generate_workload(profile, instructions, seed=42)
+
+    results = {}
+    for mode in (ProtectionMode.UNPROTECTED, ProtectionMode.MUONTRAP):
+        config = SystemConfig(mode=mode, num_cores=max(1, profile.num_threads))
+        system = build_system(config, seed=42)
+        simulator = Simulator(system)
+        results[mode] = (system, simulator.run(workload,
+                                               warmup_fraction=0.3))
+
+    baseline = results[ProtectionMode.UNPROTECTED][1]
+    muontrap_system, muontrap = results[ProtectionMode.MUONTRAP]
+
+    print(f"workload: {benchmark} ({instructions} instructions, "
+          f"{profile.num_threads} thread(s))")
+    print(f"  unprotected: {baseline.cycles} cycles "
+          f"(IPC {baseline.ipc:.2f})")
+    print(f"  MuonTrap:    {muontrap.cycles} cycles "
+          f"(IPC {muontrap.ipc:.2f})")
+    print(f"  normalised execution time: "
+          f"{muontrap.cycles / baseline.cycles:.3f} (1.0 = baseline)")
+
+    memory = muontrap_system.memory_system
+    assert isinstance(memory, MuonTrapMemorySystem)
+    data_filter = memory.data_filter(0)
+    inst_filter = memory.inst_filter(0)
+    print("\nMuonTrap filter-cache behaviour (core 0):")
+    print(f"  data filter:  {data_filter.hits} hits, "
+          f"{data_filter.misses} misses, {data_filter.flushes} flushes, "
+          f"{data_filter.uncommitted_evictions} uncommitted evictions")
+    print(f"  inst filter:  {inst_filter.hits} hits, "
+          f"{inst_filter.misses} misses")
+    print(f"  committed stores needing an invalidation broadcast: "
+          f"{memory.store_filter_broadcasts} / {memory.committed_stores} "
+          f"({memory.filter_invalidate_rate():.1%})")
+
+
+if __name__ == "__main__":
+    main()

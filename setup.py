@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical build configuration lives in ``pyproject.toml``; this file
+exists so the package can also be installed in legacy environments (for
+example offline machines without the ``wheel`` package, where
+``python setup.py develop`` is the only editable-install path available).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,38 @@
+"""repro: a reproduction of MuonTrap (Ainsworth & Jones, ISCA 2020).
+
+The package is organised around the paper's structure:
+
+* :mod:`repro.core` — the contribution: speculative filter caches and the
+  MuonTrap memory system;
+* :mod:`repro.caches`, :mod:`repro.coherence`, :mod:`repro.prefetch`,
+  :mod:`repro.tlb`, :mod:`repro.memory`, :mod:`repro.cpu` — the simulated
+  substrate (cache hierarchy, MESI coherence, prefetchers, TLBs, DRAM and an
+  out-of-order core model);
+* :mod:`repro.baselines` — the systems MuonTrap is compared against
+  (unprotected, insecure L0, InvisiSpec, STT);
+* :mod:`repro.attacks` — the six Spectre-style attacks of the paper;
+* :mod:`repro.workloads` — synthetic SPEC CPU2006 / Parsec workload models;
+* :mod:`repro.sim` and :mod:`repro.experiments` — the experiment harness
+  that regenerates every figure of the evaluation.
+"""
+
+from repro.common.params import (
+    ProtectionConfig,
+    ProtectionMode,
+    SystemConfig,
+    default_system_config,
+    parsec_system_config,
+    spec_system_config,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ProtectionConfig",
+    "ProtectionMode",
+    "SystemConfig",
+    "default_system_config",
+    "parsec_system_config",
+    "spec_system_config",
+    "__version__",
+]

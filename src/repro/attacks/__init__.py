@@ -1,0 +1,37 @@
+"""The six Spectre-style attacks of the paper and their shared harness."""
+
+from repro.attacks.filter_coherency import FilterCacheCoherencyAttack
+from repro.attacks.framework import (
+    AttackEnvironment,
+    AttackOutcome,
+    classify_probe,
+    run_attack_for_modes,
+)
+from repro.attacks.inclusion_policy import InclusionPolicyAttack
+from repro.attacks.instruction_cache import InstructionCacheAttack
+from repro.attacks.prefetcher import PrefetcherAttack
+from repro.attacks.shared_data import SharedDataCoherenceAttack
+from repro.attacks.spectre_prime_probe import SpectrePrimeProbeAttack
+
+ALL_ATTACKS = [
+    SpectrePrimeProbeAttack,
+    InclusionPolicyAttack,
+    SharedDataCoherenceAttack,
+    FilterCacheCoherencyAttack,
+    PrefetcherAttack,
+    InstructionCacheAttack,
+]
+
+__all__ = [
+    "ALL_ATTACKS",
+    "AttackEnvironment",
+    "AttackOutcome",
+    "FilterCacheCoherencyAttack",
+    "InclusionPolicyAttack",
+    "InstructionCacheAttack",
+    "PrefetcherAttack",
+    "SharedDataCoherenceAttack",
+    "SpectrePrimeProbeAttack",
+    "classify_probe",
+    "run_attack_for_modes",
+]

@@ -1,0 +1,234 @@
+"""The attacker/victim harness used by all six attacks of the paper.
+
+Every attack follows the same structure:
+
+1. an *attacker* process primes some microarchitectural state;
+2. a *victim* process is tricked into executing a few instructions under
+   speculation that touch memory at a secret-dependent location, after
+   which the speculation is squashed (the accesses never commit);
+3. control returns to the attacker (via a context switch, or the attacker
+   runs concurrently on another core), which *probes* the state by timing
+   committed accesses and infers the secret.
+
+The harness drives a :class:`~repro.cpu.interface.MemorySystem` directly
+rather than going through the out-of-order core: the attacks need precise
+control over which accesses are speculative, which commit and when the
+protection-domain switches happen, and timing is exactly the latency the
+memory system reports.  This mirrors how the paper reasons about the attacks
+(Attack boxes 1-6) as sequences of loads/stores with coherence-state
+annotations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.params import ProtectionMode, SystemConfig
+from repro.cpu.interface import MemorySystem
+from repro.memory.page_table import PageTableManager
+from repro.sim.system import build_memory_system
+
+#: Virtual addresses used by the attack programs.  The attacker and victim
+#: are distinct processes, so equal virtual addresses do not alias unless a
+#: page is explicitly shared.
+ATTACKER_PROCESS = 100
+VICTIM_PROCESS = 200
+SANDBOX_PROCESS = 300
+
+SHARED_ARRAY_BASE = 0x0200_0000
+ATTACKER_PRIVATE_BASE = 0x0300_0000
+VICTIM_PRIVATE_BASE = 0x0400_0000
+VICTIM_SECRET_ADDRESS = 0x0400_8000
+LINE_SIZE = 64
+PAGE_SIZE = 4096
+
+
+@dataclass
+class AttackOutcome:
+    """What an attack run produced."""
+
+    name: str
+    mode: str
+    actual_secret: int
+    recovered_secret: Optional[int]
+    probe_latencies: Dict[int, int] = field(default_factory=dict)
+    notes: str = ""
+
+    @property
+    def succeeded(self) -> bool:
+        """True when the attacker recovered the right secret value."""
+        return (self.recovered_secret is not None
+                and self.recovered_secret == self.actual_secret)
+
+    @property
+    def signal_margin(self) -> int:
+        """Latency gap between the best and second-best probe candidates."""
+        if len(self.probe_latencies) < 2:
+            return 0
+        ordered = sorted(self.probe_latencies.values())
+        return ordered[1] - ordered[0]
+
+
+class AttackEnvironment:
+    """A memory system plus the attacker/victim processes and shared pages."""
+
+    def __init__(self, config: Optional[SystemConfig] = None,
+                 mode: ProtectionMode = ProtectionMode.UNPROTECTED,
+                 num_cores: int = 1, secret: int = 3,
+                 num_secret_values: int = 8,
+                 shared_writable: bool = True,
+                 shared_bytes: Optional[int] = None) -> None:
+        base = config or SystemConfig()
+        self.config = base.with_mode(mode).with_cores(num_cores)
+        self.secret = secret % num_secret_values
+        self.num_secret_values = num_secret_values
+        self.page_tables = PageTableManager(page_size=PAGE_SIZE)
+        self.memory: MemorySystem = build_memory_system(
+            self.config, page_tables=self.page_tables)
+        self.now = 1000
+        # Pre-create the two address spaces and share the probe array pages
+        # (models a shared library or page-deduplicated data).  The pages
+        # are allocated consecutively, so the shared region is physically
+        # contiguous — which is what lets the inclusion-policy attack build
+        # eviction sets from virtual addresses.
+        attacker_space = self.page_tables.address_space(ATTACKER_PROCESS)
+        victim_space = self.page_tables.address_space(VICTIM_PROCESS)
+        self.shared_bytes = shared_bytes or max(
+            PAGE_SIZE, num_secret_values * 4 * LINE_SIZE)
+        for offset in range(0, self.shared_bytes, PAGE_SIZE):
+            attacker_space.share_page_with(victim_space,
+                                           SHARED_ARRAY_BASE + offset,
+                                           writable=shared_writable)
+        self._current_process: Dict[int, int] = {}
+
+    # -- time -----------------------------------------------------------------
+    def advance(self, cycles: int = 50) -> int:
+        self.now += cycles
+        return self.now
+
+    # -- protection-domain control ------------------------------------------------
+    def run_as(self, core_id: int, process_id: int) -> None:
+        """Context-switch ``core_id`` to ``process_id`` (flushes under MuonTrap)."""
+        if self._current_process.get(core_id) == process_id:
+            return
+        self._current_process[core_id] = process_id
+        switch = getattr(self.memory, "switch_to_process", None)
+        if switch is not None:
+            switch(core_id, process_id, self.now)
+        else:
+            self.memory.context_switch(core_id, self.now)
+        self.advance(200)
+
+    # -- attacker operations (always committed) --------------------------------------
+    def attacker_load(self, address: int, core_id: int = 0) -> int:
+        """A committed attacker load; returns its observed latency."""
+        self.run_as(core_id, ATTACKER_PROCESS)
+        result = self.memory.load(core_id, ATTACKER_PROCESS, address,
+                                  self.now, speculative=False)
+        self.memory.commit_load(core_id, ATTACKER_PROCESS, address,
+                                self.now + result.latency)
+        self.advance(result.latency + 5)
+        return result.latency
+
+    def attacker_store(self, address: int, core_id: int = 0) -> int:
+        """A committed attacker store; returns the commit-visible latency."""
+        self.run_as(core_id, ATTACKER_PROCESS)
+        result = self.memory.store_address_ready(core_id, ATTACKER_PROCESS,
+                                                 address, self.now,
+                                                 speculative=False)
+        commit_latency = self.memory.commit_store(
+            core_id, ATTACKER_PROCESS, address, self.now + result.latency)
+        total = result.latency + commit_latency
+        self.advance(total + 5)
+        return total
+
+    def attacker_fetch(self, address: int, core_id: int = 0) -> int:
+        """A committed attacker instruction fetch (for the I-cache attack)."""
+        self.run_as(core_id, ATTACKER_PROCESS)
+        result = self.memory.fetch(core_id, ATTACKER_PROCESS, address,
+                                   self.now, speculative=False)
+        self.memory.commit_fetch(core_id, ATTACKER_PROCESS, address,
+                                 self.now + result.latency)
+        self.advance(result.latency + 5)
+        return result.latency
+
+    # -- victim operations -------------------------------------------------------------
+    def victim_speculative_load(self, address: int, core_id: int = 0) -> int:
+        """A victim load executed under (ultimately squashed) speculation."""
+        self.run_as(core_id, VICTIM_PROCESS)
+        result = self.memory.load(core_id, VICTIM_PROCESS, address, self.now,
+                                  speculative=True)
+        self.advance(result.latency + 1)
+        return result.latency
+
+    def victim_speculative_store(self, address: int, core_id: int = 0) -> int:
+        """A victim store whose address resolves under squashed speculation."""
+        self.run_as(core_id, VICTIM_PROCESS)
+        result = self.memory.store_address_ready(core_id, VICTIM_PROCESS,
+                                                 address, self.now,
+                                                 speculative=True)
+        self.advance(result.latency + 1)
+        return result.latency
+
+    def victim_speculative_fetch(self, address: int, core_id: int = 0) -> int:
+        """A victim instruction fetch on a mispredicted (squashed) path."""
+        self.run_as(core_id, VICTIM_PROCESS)
+        result = self.memory.fetch(core_id, VICTIM_PROCESS, address, self.now,
+                                   speculative=True)
+        self.advance(result.latency + 1)
+        return result.latency
+
+    def victim_committed_load(self, address: int, core_id: int = 0) -> int:
+        """A victim load that really commits (non-speculative work)."""
+        self.run_as(core_id, VICTIM_PROCESS)
+        result = self.memory.load(core_id, VICTIM_PROCESS, address, self.now,
+                                  speculative=False)
+        self.memory.commit_load(core_id, VICTIM_PROCESS, address,
+                                self.now + result.latency)
+        self.advance(result.latency + 5)
+        return result.latency
+
+    def victim_squash(self, core_id: int = 0) -> None:
+        """The victim's misprediction is discovered; speculation is rolled back."""
+        self.memory.squash(core_id, self.now)
+        self.advance(20)
+
+    # -- address helpers ------------------------------------------------------------------
+    def probe_address(self, value: int) -> int:
+        """Shared-array element whose cache state encodes ``value``."""
+        return SHARED_ARRAY_BASE + value * 4 * LINE_SIZE
+
+    def attacker_private_address(self, index: int) -> int:
+        return ATTACKER_PRIVATE_BASE + index * LINE_SIZE
+
+    def victim_private_address(self, index: int) -> int:
+        return VICTIM_PRIVATE_BASE + index * LINE_SIZE
+
+
+def classify_probe(latencies: Dict[int, int]) -> Tuple[Optional[int], int]:
+    """Pick the value whose probe was distinctly fastest.
+
+    Returns ``(value, margin)``; ``value`` is None when no candidate is
+    clearly faster than the rest (margin < 2 cycles), i.e. the side channel
+    carried no signal.
+    """
+    if not latencies:
+        return None, 0
+    ordered = sorted(latencies.items(), key=lambda item: item[1])
+    if len(ordered) == 1:
+        return ordered[0][0], 0
+    margin = ordered[1][1] - ordered[0][1]
+    if margin < 2:
+        return None, margin
+    return ordered[0][0], margin
+
+
+def run_attack_for_modes(attack_factory, modes: List[ProtectionMode],
+                         **kwargs) -> Dict[str, AttackOutcome]:
+    """Run one attack against several protection modes (experiment helper)."""
+    outcomes: Dict[str, AttackOutcome] = {}
+    for mode in modes:
+        attack = attack_factory(mode=mode, **kwargs)
+        outcomes[mode.value] = attack.run()
+    return outcomes

@@ -1,0 +1,13 @@
+"""Baseline and comparison memory systems (unprotected, InvisiSpec, STT)."""
+
+from repro.baselines.insecure_l0 import InsecureL0MemorySystem
+from repro.baselines.invisispec import InvisiSpecMemorySystem
+from repro.baselines.stt import STTMemorySystem
+from repro.baselines.unprotected import UnprotectedMemorySystem
+
+__all__ = [
+    "InsecureL0MemorySystem",
+    "InvisiSpecMemorySystem",
+    "STTMemorySystem",
+    "UnprotectedMemorySystem",
+]

@@ -1,0 +1,112 @@
+"""The insecure-L0 ablation point of Figures 8 and 9.
+
+This system puts the same small, 1-cycle L0 cache in front of the L1 as
+MuonTrap does, but with none of the protections: the L0 is filled by every
+access (speculative or not), its contents survive protection-domain
+switches, lines propagate to the L1 immediately on fill (normal inclusive
+behaviour), and the prefetcher trains speculatively.  It isolates the pure
+performance effect of adding a level-0 cache from the cost of the security
+mechanisms.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.common.params import SystemConfig
+from repro.common.rng import DeterministicRng
+from repro.common.statistics import StatGroup
+from repro.core.filter_cache import SpeculativeFilterCache
+from repro.cpu.interface import MemoryAccessResult
+from repro.baselines.unprotected import UnprotectedMemorySystem
+from repro.memory.page_table import PageTableManager
+
+
+class InsecureL0MemorySystem(UnprotectedMemorySystem):
+    """Unprotected hierarchy plus an ordinary (insecure) L0 cache per core."""
+
+    name = "insecure-l0"
+
+    def __init__(self, config: SystemConfig,
+                 page_tables: Optional[PageTableManager] = None,
+                 stats: Optional[StatGroup] = None,
+                 rng: Optional[DeterministicRng] = None) -> None:
+        stats = stats or StatGroup("insecure_l0")
+        super().__init__(config, page_tables=page_tables, stats=stats,
+                         rng=rng)
+        self._data_l0 = {}
+        self._inst_l0 = {}
+        for core_id in range(config.num_cores):
+            core_stats = stats.child(f"core{core_id}")
+            self._data_l0[core_id] = SpeculativeFilterCache(
+                config.data_filter, stats=core_stats.child("data_l0"),
+                name="data_l0")
+            self._inst_l0[core_id] = SpeculativeFilterCache(
+                config.inst_filter, stats=core_stats.child("inst_l0"),
+                name="inst_l0")
+
+    def data_l0(self, core_id: int) -> SpeculativeFilterCache:
+        return self._data_l0[core_id]
+
+    def inst_l0(self, core_id: int) -> SpeculativeFilterCache:
+        return self._inst_l0[core_id]
+
+    # -- execute-time -----------------------------------------------------------
+    def load(self, core_id: int, process_id: int, virtual_address: int,
+             now: int, *, speculative: bool, pc: int = 0
+             ) -> MemoryAccessResult:
+        l0 = self._data_l0[core_id]
+        lookup = l0.lookup(virtual_address, now, process_id=process_id)
+        if lookup.hit:
+            return MemoryAccessResult(latency=lookup.latency, hit_level="l0")
+        # Serial L0 lookup in front of the normal (L1-filling) path.
+        result = super().load(core_id, process_id, virtual_address,
+                              now + lookup.latency, speculative=speculative,
+                              pc=pc)
+        space = self.page_tables.address_space(process_id)
+        physical = space.translate(virtual_address)
+        if physical is not None:
+            l0.fill(virtual_address, physical, now + result.latency,
+                    process_id=process_id, committed=True,
+                    fill_level=result.hit_level)
+        return MemoryAccessResult(latency=lookup.latency + result.latency,
+                                  hit_level=result.hit_level)
+
+    def store_address_ready(self, core_id: int, process_id: int,
+                            virtual_address: int, now: int, *,
+                            speculative: bool, pc: int = 0
+                            ) -> MemoryAccessResult:
+        l0 = self._data_l0[core_id]
+        lookup = l0.lookup(virtual_address, now, process_id=process_id)
+        if lookup.hit:
+            return MemoryAccessResult(latency=lookup.latency, hit_level="l0")
+        result = super().store_address_ready(
+            core_id, process_id, virtual_address, now + lookup.latency,
+            speculative=speculative, pc=pc)
+        space = self.page_tables.address_space(process_id)
+        physical = space.translate(virtual_address)
+        if physical is not None:
+            l0.fill(virtual_address, physical, now + result.latency,
+                    process_id=process_id, committed=True,
+                    fill_level=result.hit_level)
+        return MemoryAccessResult(latency=lookup.latency + result.latency,
+                                  hit_level=result.hit_level)
+
+    def fetch(self, core_id: int, process_id: int, virtual_address: int,
+              now: int, *, speculative: bool, pc: int = 0
+              ) -> MemoryAccessResult:
+        l0 = self._inst_l0[core_id]
+        lookup = l0.lookup(virtual_address, now, process_id=process_id)
+        if lookup.hit:
+            return MemoryAccessResult(latency=lookup.latency, hit_level="l0i")
+        result = super().fetch(core_id, process_id, virtual_address,
+                               now + lookup.latency, speculative=speculative,
+                               pc=pc)
+        space = self.page_tables.address_space(process_id)
+        physical = space.translate(virtual_address)
+        if physical is not None:
+            l0.fill(virtual_address, physical, now + result.latency,
+                    process_id=process_id, committed=True,
+                    fill_level=result.hit_level)
+        return MemoryAccessResult(latency=lookup.latency + result.latency,
+                                  hit_level=result.hit_level)

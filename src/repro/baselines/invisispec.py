@@ -1,0 +1,241 @@
+"""A behavioural model of InvisiSpec (Yan et al., MICRO 2018).
+
+InvisiSpec hides speculative loads by placing their data in per-load-queue
+speculative buffers that are invisible to the cache hierarchy and the
+coherence protocol.  When a load reaches its *visibility point* it must make
+a second access to the memory system (validation or exposure) that actually
+fills the caches; validation is on the critical path of commit.  Two
+variants are modelled, matching the ones re-evaluated in the paper:
+
+* ``InvisiSpec-Spectre`` — a load becomes visible once all older branches
+  have resolved.
+* ``InvisiSpec-Future`` — a load only becomes visible when it can no longer
+  be squashed, i.e. effectively at commit.
+
+The per-word speculative buffer means there is no reuse across loads: every
+speculative load pays the full hierarchy latency even when a previous
+in-flight load touched the same line, and the validation access is what
+installs the line in the L1.  These two properties are what produce the
+9.7% / 18.5% SPEC overheads and the up-to-2x Parsec overheads the paper
+reports for InvisiSpec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.caches.hierarchy import NonSpeculativeHierarchy
+from repro.common.params import ProtectionMode, SystemConfig
+from repro.common.rng import DeterministicRng
+from repro.common.statistics import StatGroup
+from repro.core.domains import DomainTracker
+from repro.cpu.interface import MemoryAccessResult, MemorySystem
+from repro.memory.page_table import PageTableManager
+from repro.tlb.page_walker import MMU
+
+
+@dataclass
+class _SpeculativeBufferEntry:
+    """One load's hidden data (word-granularity in the real design)."""
+
+    physical_line: int
+    fill_level: str
+    filled_at: int
+
+
+class InvisiSpecMemorySystem(MemorySystem):
+    """Speculative-buffer loads with validation/exposure at the visibility point."""
+
+    def __init__(self, config: SystemConfig,
+                 future_variant: bool = False,
+                 page_tables: Optional[PageTableManager] = None,
+                 stats: Optional[StatGroup] = None,
+                 rng: Optional[DeterministicRng] = None) -> None:
+        self.config = config
+        self.future_variant = future_variant
+        self.name = ("invisispec-future" if future_variant
+                     else "invisispec-spectre")
+        stats = stats or StatGroup(self.name.replace("-", "_"))
+        self.stats = stats
+        rng = rng or DeterministicRng(0)
+        self.page_tables = (page_tables if page_tables is not None
+                            else PageTableManager(
+                                page_size=config.tlb.page_size))
+        self.hierarchy = NonSpeculativeHierarchy(
+            config, stats=stats.child("hierarchy"), rng=rng)
+        self._mmus: Dict[int, Tuple[MMU, MMU]] = {}
+        self._domains: Dict[int, DomainTracker] = {}
+        self._buffers: Dict[Tuple[int, int], _SpeculativeBufferEntry] = {}
+        for core_id in range(config.num_cores):
+            core_stats = stats.child(f"core{core_id}")
+            self._mmus[core_id] = (
+                MMU(config.tlb, use_filter_tlb=False,
+                    stats=core_stats.child("dmmu"), name="dmmu"),
+                MMU(config.tlb, use_filter_tlb=False,
+                    stats=core_stats.child("immu"), name="immu"))
+            self._domains[core_id] = DomainTracker(
+                core_id=core_id, stats=core_stats.child("domains"))
+        self._speculative_loads = stats.counter("speculative_buffer_fills")
+        self._validations = stats.counter("validation_accesses")
+
+    @property
+    def mode(self) -> ProtectionMode:
+        return (ProtectionMode.INVISISPEC_FUTURE if self.future_variant
+                else ProtectionMode.INVISISPEC_SPECTRE)
+
+    def domains(self, core_id: int) -> DomainTracker:
+        return self._domains[core_id]
+
+    def _translate(self, core_id: int, process_id: int, virtual_address: int,
+                   instruction: bool) -> Tuple[Optional[int], int]:
+        space = self.page_tables.address_space(process_id)
+        mmu = self._mmus[core_id][1 if instruction else 0]
+        result = mmu.translate(space, virtual_address, speculative=False)
+        return result.physical_address, result.latency
+
+    # -- execute-time -----------------------------------------------------------
+    def load(self, core_id: int, process_id: int, virtual_address: int,
+             now: int, *, speculative: bool, pc: int = 0
+             ) -> MemoryAccessResult:
+        physical, tlb_latency = self._translate(core_id, process_id,
+                                                virtual_address, False)
+        if physical is None:
+            return MemoryAccessResult(latency=tlb_latency + 1,
+                                      hit_level="fault")
+        line = self.hierarchy.line_address(physical)
+        if not speculative:
+            outcome = self.hierarchy.access(core_id, physical,
+                                            now + tlb_latency,
+                                            speculative=False, pc=pc)
+            return MemoryAccessResult(latency=tlb_latency + outcome.latency,
+                                      hit_level=outcome.hit_level)
+        # Speculative load: data goes only into the per-load speculative
+        # buffer.  It may read the caches but must not change them, so an L1
+        # hit is cheap while a miss pays the full downstream latency without
+        # filling anything.
+        l1 = self.hierarchy.l1d(core_id)
+        l1_line = l1.lookup(line, now)
+        if l1_line is not None:
+            l1.record_hit()
+            latency = l1.config.hit_latency
+            fill_level = "l1"
+        else:
+            l1.record_miss()
+            outcome = self.hierarchy.controller.read(
+                core_id, line, now + tlb_latency, speculative=True,
+                protect_coherence=False, fill_l2=False)
+            # The speculative access still occupies a miss-tracking slot.
+            l1.mshrs.allocate(line, now, outcome.latency)
+            latency = l1.config.hit_latency + outcome.latency
+            fill_level = outcome.hit_level
+            if outcome.hit_level in ("l2", "memory"):
+                # InvisiSpec does not protect the prefetcher: speculative
+                # loads train it exactly as in the unprotected system.
+                self.hierarchy.train_l2_prefetcher(line, pc, now,
+                                                   was_miss=True)
+        self._speculative_loads.increment()
+        self._buffers[(core_id, line)] = _SpeculativeBufferEntry(
+            physical_line=line, fill_level=fill_level,
+            filled_at=now + tlb_latency + latency)
+        return MemoryAccessResult(latency=tlb_latency + latency,
+                                  hit_level=f"specbuf-{fill_level}")
+
+    def store_address_ready(self, core_id: int, process_id: int,
+                            virtual_address: int, now: int, *,
+                            speculative: bool, pc: int = 0
+                            ) -> MemoryAccessResult:
+        # InvisiSpec does not let speculative stores touch the hierarchy.
+        physical, tlb_latency = self._translate(core_id, process_id,
+                                                virtual_address, False)
+        if physical is None:
+            return MemoryAccessResult(latency=tlb_latency + 1,
+                                      hit_level="fault")
+        return MemoryAccessResult(latency=tlb_latency + 1, hit_level="sq")
+
+    def fetch(self, core_id: int, process_id: int, virtual_address: int,
+              now: int, *, speculative: bool, pc: int = 0
+              ) -> MemoryAccessResult:
+        # InvisiSpec does not protect the instruction cache; fetches behave
+        # exactly as in the unprotected system.
+        physical, tlb_latency = self._translate(core_id, process_id,
+                                                virtual_address, True)
+        if physical is None:
+            return MemoryAccessResult(latency=tlb_latency + 1,
+                                      hit_level="fault")
+        outcome = self.hierarchy.access(core_id, physical, now + tlb_latency,
+                                        instruction=True,
+                                        speculative=speculative, pc=pc,
+                                        train_prefetcher=False)
+        return MemoryAccessResult(latency=tlb_latency + outcome.latency,
+                                  hit_level=outcome.hit_level)
+
+    # -- the visibility-point re-access --------------------------------------------
+    def validation_latency(self, core_id: int, process_id: int,
+                           virtual_address: int, now: int, *,
+                           pc: int = 0) -> int:
+        """The second (validation/exposure) access for one speculative load.
+
+        Called by the core model at the load's visibility point (branch
+        resolution for the Spectre variant, commit for the Future variant).
+        It performs a real hierarchy access that fills the L1, and its
+        latency is charged against commit.
+        """
+        space = self.page_tables.address_space(process_id)
+        physical = space.translate(virtual_address)
+        if physical is None:
+            return 0
+        line = self.hierarchy.line_address(physical)
+        self._validations.increment()
+        self._buffers.pop((core_id, line), None)
+        # The validation is a repeat of an access the prefetcher has already
+        # been trained on, so it does not train again.
+        outcome = self.hierarchy.access(core_id, physical, now,
+                                        speculative=False, pc=pc,
+                                        train_prefetcher=False)
+        return outcome.latency
+
+    # -- commit-time ------------------------------------------------------------------
+    def commit_load(self, core_id: int, process_id: int, virtual_address: int,
+                    now: int, *, pc: int = 0) -> int:
+        # The core model charges the validation itself (it knows the
+        # visibility point); nothing further happens at commit.
+        return 0
+
+    def commit_store(self, core_id: int, process_id: int, virtual_address: int,
+                     now: int, *, pc: int = 0) -> int:
+        space = self.page_tables.address_space(process_id)
+        physical = space.translate(virtual_address)
+        if physical is None:
+            return 0
+        result = self.hierarchy.commit_store(core_id, physical, now,
+                                             broadcast_to_filters=False)
+        return min(result.latency, self.config.l1d.hit_latency)
+
+    # -- control events -----------------------------------------------------------------
+    def squash(self, core_id: int, now: int) -> None:
+        # Squashed loads simply abandon their speculative-buffer entries.
+        stale = [key for key in self._buffers if key[0] == core_id]
+        for key in stale:
+            del self._buffers[key]
+
+    def switch_to_process(self, core_id: int, process_id: int,
+                          now: int = 0) -> None:
+        self._domains[core_id].context_switch(to_process=process_id)
+
+    def context_switch(self, core_id: int, now: int) -> None:
+        current = self._domains[core_id].current.process_id
+        self._domains[core_id].context_switch(to_process=current + 1)
+
+    def sandbox_entry(self, core_id: int, now: int) -> None:
+        self._domains[core_id].sandbox_entry(sandbox_id=1)
+
+    # -- introspection ---------------------------------------------------------------------
+    def speculative_buffer_contains(self, core_id: int,
+                                    physical_address: int) -> bool:
+        line = self.hierarchy.line_address(physical_address)
+        return (core_id, line) in self._buffers
+
+    @property
+    def validations(self) -> int:
+        return self._validations.value

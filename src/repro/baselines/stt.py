@@ -1,0 +1,65 @@
+"""A behavioural model of Speculative Taint Tracking (Yu et al., MICRO 2019).
+
+STT lets speculative loads execute and fill the caches normally, but taints
+their results and blocks *transmit* instructions (loads, stores and other
+instructions whose operands could leak the value through a covert channel)
+from executing until the source load becomes safe.  Two variants match the
+paper's comparison:
+
+* ``STT-Spectre`` — a load's value untaints once all older branches have
+  resolved (the Spectre threat model).
+* ``STT-Future``  — the value only untaints when the load can no longer be
+  squashed (effectively at commit), the futuristic threat model.
+
+The memory side therefore behaves exactly like the unprotected hierarchy;
+the cost comes from the *delays imposed on dependent instructions*, which
+the out-of-order core model applies when
+:attr:`delays_dependent_transmitters` is set.  Workloads with dependent
+chains of loads (pointer chasing: mcf, omnetpp, astar, canneal) suffer the
+most, matching the paper's observations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.baselines.unprotected import UnprotectedMemorySystem
+from repro.common.params import ProtectionMode, SystemConfig
+from repro.common.rng import DeterministicRng
+from repro.common.statistics import StatGroup
+from repro.memory.page_table import PageTableManager
+
+
+class STTMemorySystem(UnprotectedMemorySystem):
+    """Unprotected memory side plus taint-based issue restrictions."""
+
+    #: Signals the core model that dependent transmit instructions must wait
+    #: for their source load's visibility point before issuing.
+    delays_dependent_transmitters = True
+
+    def __init__(self, config: SystemConfig,
+                 future_variant: bool = False,
+                 page_tables: Optional[PageTableManager] = None,
+                 stats: Optional[StatGroup] = None,
+                 rng: Optional[DeterministicRng] = None) -> None:
+        self.future_variant = future_variant
+        self.name = "stt-future" if future_variant else "stt-spectre"
+        stats = stats or StatGroup(self.name.replace("-", "_"))
+        super().__init__(config, page_tables=page_tables, stats=stats,
+                         rng=rng)
+        self._delayed_forwards = stats.counter(
+            "delayed_forwards",
+            "dependent transmit instructions held back by taint")
+
+    @property
+    def mode(self) -> ProtectionMode:
+        return (ProtectionMode.STT_FUTURE if self.future_variant
+                else ProtectionMode.STT_SPECTRE)
+
+    def record_delayed_forward(self) -> None:
+        """Called by the core each time taint stalls a dependent instruction."""
+        self._delayed_forwards.increment()
+
+    @property
+    def delayed_forwards(self) -> int:
+        return self._delayed_forwards.value

@@ -1,0 +1,148 @@
+"""The unprotected baseline memory system.
+
+This is the insecure system every result in the paper is normalised to:
+speculative (including wrong-path) loads, stores-with-resolved-addresses and
+instruction fetches fill the L1 caches immediately, train the L2 prefetcher
+immediately, and speculative stores may obtain exclusive ownership early.
+Nothing is cleared on protection-domain switches, which is exactly why all
+six attacks succeed against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.caches.hierarchy import NonSpeculativeHierarchy
+from repro.common.params import SystemConfig
+from repro.common.rng import DeterministicRng
+from repro.common.statistics import StatGroup
+from repro.core.domains import DomainTracker
+from repro.cpu.interface import MemoryAccessResult, MemorySystem
+from repro.memory.page_table import PageTableManager
+from repro.tlb.page_walker import MMU
+
+
+@dataclass
+class _CoreState:
+    data_mmu: MMU
+    inst_mmu: MMU
+    domains: DomainTracker
+
+
+class UnprotectedMemorySystem(MemorySystem):
+    """Conventional hierarchy with no speculation-related protections."""
+
+    name = "unprotected"
+
+    def __init__(self, config: SystemConfig,
+                 page_tables: Optional[PageTableManager] = None,
+                 stats: Optional[StatGroup] = None,
+                 rng: Optional[DeterministicRng] = None) -> None:
+        self.config = config
+        stats = stats or StatGroup("unprotected")
+        self.stats = stats
+        rng = rng or DeterministicRng(0)
+        self.page_tables = (page_tables if page_tables is not None
+                            else PageTableManager(
+                                page_size=config.tlb.page_size))
+        self.hierarchy = NonSpeculativeHierarchy(
+            config, stats=stats.child("hierarchy"), rng=rng)
+        self._cores: Dict[int, _CoreState] = {}
+        for core_id in range(config.num_cores):
+            core_stats = stats.child(f"core{core_id}")
+            self._cores[core_id] = _CoreState(
+                data_mmu=MMU(config.tlb, use_filter_tlb=False,
+                             stats=core_stats.child("dmmu"), name="dmmu"),
+                inst_mmu=MMU(config.tlb, use_filter_tlb=False,
+                             stats=core_stats.child("immu"), name="immu"),
+                domains=DomainTracker(core_id=core_id,
+                                      stats=core_stats.child("domains")))
+        self._committed_stores = stats.counter("committed_stores")
+
+    # -- helpers -------------------------------------------------------------
+    def domains(self, core_id: int) -> DomainTracker:
+        return self._cores[core_id].domains
+
+    def _translate(self, core_id: int, process_id: int, virtual_address: int,
+                   instruction: bool) -> tuple:
+        core = self._cores[core_id]
+        space = self.page_tables.address_space(process_id)
+        mmu = core.inst_mmu if instruction else core.data_mmu
+        result = mmu.translate(space, virtual_address, speculative=False)
+        return result.physical_address, result.latency
+
+    # -- execute-time ----------------------------------------------------------
+    def load(self, core_id: int, process_id: int, virtual_address: int,
+             now: int, *, speculative: bool, pc: int = 0
+             ) -> MemoryAccessResult:
+        physical, tlb_latency = self._translate(core_id, process_id,
+                                                virtual_address, False)
+        if physical is None:
+            return MemoryAccessResult(latency=tlb_latency + 1,
+                                      hit_level="fault")
+        outcome = self.hierarchy.access(core_id, physical, now + tlb_latency,
+                                        speculative=speculative, pc=pc)
+        return MemoryAccessResult(latency=tlb_latency + outcome.latency,
+                                  hit_level=outcome.hit_level)
+
+    def store_address_ready(self, core_id: int, process_id: int,
+                            virtual_address: int, now: int, *,
+                            speculative: bool, pc: int = 0
+                            ) -> MemoryAccessResult:
+        # An unprotected system issues the read-for-ownership prefetch as
+        # soon as the store's address is known, even speculatively.  This is
+        # the behaviour SpectrePrime-style attacks exploit.
+        physical, tlb_latency = self._translate(core_id, process_id,
+                                                virtual_address, False)
+        if physical is None:
+            return MemoryAccessResult(latency=tlb_latency + 1,
+                                      hit_level="fault")
+        outcome = self.hierarchy.access(core_id, physical, now + tlb_latency,
+                                        is_store=True, speculative=speculative,
+                                        pc=pc)
+        return MemoryAccessResult(latency=tlb_latency + outcome.latency,
+                                  hit_level=outcome.hit_level)
+
+    def fetch(self, core_id: int, process_id: int, virtual_address: int,
+              now: int, *, speculative: bool, pc: int = 0
+              ) -> MemoryAccessResult:
+        physical, tlb_latency = self._translate(core_id, process_id,
+                                                virtual_address, True)
+        if physical is None:
+            return MemoryAccessResult(latency=tlb_latency + 1,
+                                      hit_level="fault")
+        outcome = self.hierarchy.access(core_id, physical, now + tlb_latency,
+                                        instruction=True,
+                                        speculative=speculative, pc=pc,
+                                        train_prefetcher=False)
+        return MemoryAccessResult(latency=tlb_latency + outcome.latency,
+                                  hit_level=outcome.hit_level)
+
+    # -- commit-time -------------------------------------------------------------
+    def commit_load(self, core_id: int, process_id: int, virtual_address: int,
+                    now: int, *, pc: int = 0) -> int:
+        return 0
+
+    def commit_store(self, core_id: int, process_id: int, virtual_address: int,
+                     now: int, *, pc: int = 0) -> int:
+        self._committed_stores.increment()
+        space = self.page_tables.address_space(process_id)
+        physical = space.translate(virtual_address)
+        if physical is None:
+            return 0
+        result = self.hierarchy.commit_store(core_id, physical, now,
+                                             broadcast_to_filters=False)
+        return min(result.latency, self.config.l1d.hit_latency)
+
+    # -- control events -------------------------------------------------------------
+    def switch_to_process(self, core_id: int, process_id: int,
+                          now: int = 0) -> None:
+        self._cores[core_id].domains.context_switch(to_process=process_id)
+
+    def context_switch(self, core_id: int, now: int) -> None:
+        current = self._cores[core_id].domains.current.process_id
+        self._cores[core_id].domains.context_switch(to_process=current + 1)
+
+    def sandbox_entry(self, core_id: int, now: int) -> None:
+        self._cores[core_id].domains.sandbox_entry(sandbox_id=1)

@@ -1,0 +1,29 @@
+"""Set-associative caches, replacement policies, MSHRs and write buffers."""
+
+from repro.caches.base_cache import SetAssociativeCache
+from repro.caches.cache_line import CacheLine
+from repro.caches.hierarchy import HierarchyResult, NonSpeculativeHierarchy
+from repro.caches.mshr import MSHREntry, MSHRFile
+from repro.caches.replacement import (
+    LRUReplacement,
+    RandomReplacement,
+    ReplacementPolicy,
+    TreePLRUReplacement,
+    make_replacement_policy,
+)
+from repro.caches.write_buffer import WriteBuffer
+
+__all__ = [
+    "CacheLine",
+    "HierarchyResult",
+    "LRUReplacement",
+    "NonSpeculativeHierarchy",
+    "MSHREntry",
+    "MSHRFile",
+    "RandomReplacement",
+    "ReplacementPolicy",
+    "SetAssociativeCache",
+    "TreePLRUReplacement",
+    "WriteBuffer",
+    "make_replacement_policy",
+]

@@ -1,0 +1,370 @@
+"""The non-speculative cache hierarchy shared by every protection mode.
+
+This wires together the per-core private L1 instruction and data caches, the
+shared L2 with its stride prefetcher, main memory, and the MESI coherence
+controller.  Protection-specific memory systems (the MuonTrap filter caches,
+InvisiSpec's speculative buffers, STT's delays, or the plain unprotected
+system) are thin layers on top of the two entry points provided here:
+
+* :meth:`access` — the conventional path: look up the requester's private L1
+  and, on a miss, obtain the line through the coherence controller and fill
+  the L1.  Used by the unprotected baseline, the insecure-L0 ablation, and
+  by InvisiSpec's validation/exposure accesses.
+* :meth:`read_for_filter` — the MuonTrap path: supply a line to a filter
+  cache *without* filling any non-speculative cache, honouring the reduced
+  coherency speculation rules.
+
+Commit-side helpers (:meth:`commit_fill_l1`, :meth:`commit_store`,
+:meth:`notify_commit_prefetch`) implement write-through-at-commit, exclusive
+upgrades with filter-cache broadcasts, and commit-time prefetcher training.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.caches.base_cache import SetAssociativeCache
+from repro.coherence.bus import CoherenceBus
+from repro.coherence.protocol import AccessOutcome, CoherenceController
+from repro.coherence.states import CoherenceState, E, I, M, S
+from repro.common.params import SystemConfig
+from repro.common.rng import DeterministicRng
+from repro.common.statistics import StatGroup
+from repro.memory.main_memory import MainMemory
+from repro.prefetch.base import NullPrefetcher, Prefetcher, TrainingEvent
+from repro.prefetch.commit_channel import (
+    CommitPrefetchChannel,
+    PrefetchNotification,
+)
+from repro.prefetch.stream import StreamPrefetcher
+
+
+@dataclass
+class HierarchyResult:
+    """Outcome of one request against the non-speculative hierarchy."""
+
+    latency: int
+    hit_level: str
+    nacked: bool = False
+    granted_state: CoherenceState = S
+    exclusive_available: bool = False
+    triggered_filter_broadcast: bool = False
+
+    @property
+    def served(self) -> bool:
+        return not self.nacked
+
+
+class NonSpeculativeHierarchy:
+    """Private L1s + shared L2 + memory + MESI controller + L2 prefetcher."""
+
+    def __init__(self, config: SystemConfig,
+                 stats: Optional[StatGroup] = None,
+                 rng: Optional[DeterministicRng] = None) -> None:
+        self.config = config
+        stats = stats or StatGroup("hierarchy")
+        self.stats = stats
+        rng = rng or DeterministicRng(0)
+        self.memory = MainMemory(config.memory, stats=stats.child("memory"))
+        self.l2 = SetAssociativeCache(config.l2, stats=stats.child("l2"),
+                                      rng=rng.fork(1))
+        self.bus = CoherenceBus(stats=stats.child("bus"))
+        self.controller = CoherenceController(self.bus, self.l2, self.memory,
+                                              stats=stats.child("coherence"))
+        self._l1d: Dict[int, SetAssociativeCache] = {}
+        self._l1i: Dict[int, SetAssociativeCache] = {}
+        for core_id in range(config.num_cores):
+            l1d_stats = stats.child(f"core{core_id}").child("l1d")
+            l1i_stats = stats.child(f"core{core_id}").child("l1i")
+            self._l1d[core_id] = SetAssociativeCache(
+                config.l1d, stats=l1d_stats, rng=rng.fork(10 + core_id))
+            self._l1i[core_id] = SetAssociativeCache(
+                config.l1i, stats=l1i_stats, rng=rng.fork(100 + core_id))
+            self.bus.register_private_cache(core_id, self._l1d[core_id])
+        self.l2_prefetcher: Prefetcher = (
+            StreamPrefetcher(line_size=config.l2.line_size,
+                             degree=config.l2.prefetch_degree + 1,
+                             stats=stats.child("l2_prefetcher"))
+            if config.l2.prefetcher == "stride" else NullPrefetcher())
+        self.commit_prefetch = CommitPrefetchChannel(
+            stats=stats.child("commit_prefetch"))
+        self.commit_prefetch.attach(
+            "l2", self.l2_prefetcher,
+            lambda line, now: self._install_prefetch(line, now))
+        self.commit_prefetch.attach(
+            "memory", self.l2_prefetcher,
+            lambda line, now: self._install_prefetch(line, now))
+        self._store_commits = stats.counter("store_commits")
+        self._store_filter_broadcasts = stats.counter(
+            "store_filter_broadcasts",
+            "committed stores requiring a filter-cache invalidate broadcast")
+        # Access-time (speculative) prefetcher training sees the miss stream
+        # in the order an out-of-order core issues it, not program order.
+        # The small reorder buffer below emulates that jumbling; commit-time
+        # notifications bypass it and train strictly in order, which is the
+        # effect behind the paper's lbm result (section 6.1).
+        self._speculative_train_rng = rng.fork(999)
+        self._speculative_train_buffer: list = []
+
+    # -- accessors ----------------------------------------------------------
+    def l1d(self, core_id: int) -> SetAssociativeCache:
+        return self._l1d[core_id]
+
+    def l1i(self, core_id: int) -> SetAssociativeCache:
+        return self._l1i[core_id]
+
+    def line_address(self, address: int) -> int:
+        return self.l2.line_address(address)
+
+    # -- prefetch machinery ---------------------------------------------------
+    def _install_prefetch(self, line_address: int, now: int) -> None:
+        """Install a prefetched line into the shared L2 (non-speculative).
+
+        Prefetches compete with demand misses for the L2's MSHRs: when the
+        file is full the prefetch is dropped rather than queued, which is
+        how hardware prefetchers typically behave under load.
+        """
+        if self.l2.probe(line_address) is not None:
+            return
+        if self.l2.mshrs.occupancy(now) >= self.l2.mshrs.capacity:
+            return
+        fill_latency = self.config.memory.access_latency
+        self.l2.mshrs.allocate(line_address, now, fill_latency)
+        self.l2.fill(line_address, E, now, prefetched=True,
+                     ready_at=now + fill_latency,
+                     writeback_handler=lambda victim: self.memory.write(
+                         victim.address, now))
+
+    def train_l2_prefetcher(self, address: int, pc: int, now: int,
+                            was_miss: bool) -> None:
+        """Train the L2 prefetcher from the (out-of-order) access stream.
+
+        This is the unprotected behaviour: training events are produced by
+        speculative, possibly wrong-path accesses and reach the prefetcher
+        roughly in issue order.  A small reorder window models that the
+        issue order of an 8-wide out-of-order core is not program order.
+        """
+        event = TrainingEvent(address=address, pc=pc, cycle=now,
+                              was_miss=was_miss)
+        self._speculative_train_buffer.append(event)
+        if len(self._speculative_train_buffer) <= 3:
+            return
+        # Mild reordering: most events arrive in order, but nearby accesses
+        # (different loop iterations in flight together) occasionally swap.
+        index = self._speculative_train_rng.choice([0, 0, 0, 1, 1, 2])
+        index = min(index, len(self._speculative_train_buffer) - 1)
+        delivered = self._speculative_train_buffer.pop(index)
+        for line in self.l2_prefetcher.train(delivered):
+            self._install_prefetch(line, delivered.cycle)
+
+    def notify_commit_prefetch(self, line_address: int, pc: int, level: str,
+                               now: int) -> None:
+        """Queue a commit-time prefetch notification (MuonTrap, section 4.6)."""
+        self.commit_prefetch.notify(PrefetchNotification(
+            line_address=line_address, pc=pc, level=level, cycle=now))
+        self.commit_prefetch.drain(now)
+
+    # -- conventional access path ----------------------------------------------
+    def access(self, core_id: int, address: int, now: int, *,
+               is_store: bool = False, speculative: bool = False,
+               protect_coherence: bool = False, pc: int = 0,
+               instruction: bool = False, fill_l1: bool = True,
+               train_prefetcher: bool = True) -> HierarchyResult:
+        """Access through the private L1 (instruction or data) and below.
+
+        This is the behaviour of an unprotected system: (wrong-path)
+        speculative accesses fill the L1 and train the prefetcher like any
+        other access.  Stores request ownership (Modified); loads accept
+        Shared or Exclusive.
+        """
+        l1 = self._l1i[core_id] if instruction else self._l1d[core_id]
+        line_address = l1.line_address(address)
+        line = l1.lookup(line_address, now)
+        if line is not None and (not is_store or line.state.is_private):
+            l1.record_hit()
+            latency = l1.config.hit_latency
+            if line.prefetched and line.ready_at > now:
+                latency += line.ready_at - now
+                line.prefetched = False
+            if is_store:
+                line.state = M
+                line.dirty = True
+            return HierarchyResult(latency=latency, hit_level="l1",
+                                   granted_state=line.state)
+        l1.record_miss()
+        mshr_entry = l1.mshrs.lookup(line_address, now)
+        if mshr_entry is not None and not is_store:
+            # Merge with an in-flight miss to the same line.
+            latency = max(1, mshr_entry.ready_time - now)
+            return HierarchyResult(latency=l1.config.hit_latency + latency,
+                                   hit_level="mshr")
+        if is_store:
+            already_private = line is not None and line.state.is_private
+            outcome = self.controller.write(core_id, line_address, now,
+                                            already_private=already_private)
+        else:
+            outcome = self.controller.read(
+                core_id, line_address, now, speculative=speculative,
+                protect_coherence=protect_coherence)
+        if outcome.nacked:
+            return HierarchyResult(latency=outcome.latency, hit_level="nack",
+                                   nacked=True)
+        # Loads allocate an MSHR so occupancy statistics and merge behaviour
+        # are tracked; stores drain through the write buffer instead.  The
+        # latency charged is the downstream latency itself: the out-of-order
+        # core model accounts for overlap, so an additional structural stall
+        # here would double-count contention.
+        total_latency = l1.config.hit_latency + outcome.latency
+        if not is_store:
+            l1.mshrs.allocate(line_address, now, outcome.latency)
+        if fill_l1:
+            state = M if is_store else outcome.granted_state
+            l1.fill(line_address, state, now + total_latency,
+                    dirty=is_store,
+                    writeback_handler=lambda victim: self._writeback_to_l2(
+                        victim.address, now + total_latency))
+        if train_prefetcher and not instruction and outcome.hit_level in (
+                "l2", "memory"):
+            self.train_l2_prefetcher(line_address, pc, now, was_miss=True)
+        return HierarchyResult(latency=total_latency,
+                               hit_level=outcome.hit_level,
+                               granted_state=outcome.granted_state,
+                               exclusive_available=outcome.exclusive_available)
+
+    def _writeback_to_l2(self, line_address: int, now: int) -> None:
+        self.l2.fill(line_address, M, now, dirty=True,
+                     writeback_handler=lambda victim: self.memory.write(
+                         victim.address, now))
+
+    # -- MuonTrap filter-cache path ---------------------------------------------
+    def read_for_filter(self, core_id: int, address: int, now: int, *,
+                        speculative: bool = True,
+                        protect_coherence: bool = True,
+                        pc: int = 0, instruction: bool = False,
+                        train_prefetcher_speculatively: bool = False
+                        ) -> HierarchyResult:
+        """Supply a line to a filter cache without filling the L1 or L2.
+
+        The filter cache may read data from any cache on its linear path to
+        memory (its own L1, the shared L2, memory) and from peers only when
+        no private non-speculative cache holds the line exclusively
+        (section 4.5).  ``exclusive_available`` in the result signals that an
+        unprotected system would have installed the line in E, i.e. the
+        filter line should be marked ``SE``.
+        """
+        l1 = self._l1i[core_id] if instruction else self._l1d[core_id]
+        line_address = l1.line_address(address)
+        line = l1.lookup(line_address, now)
+        if line is not None:
+            l1.record_hit()
+            latency = l1.config.hit_latency
+            if line.prefetched and line.ready_at > now:
+                latency += line.ready_at - now
+                line.prefetched = False
+            return HierarchyResult(latency=latency, hit_level="l1",
+                                   granted_state=S,
+                                   exclusive_available=line.state.is_private)
+        l1.record_miss()
+        mshr_entry = l1.mshrs.lookup(line_address, now)
+        if mshr_entry is not None:
+            latency = max(1, mshr_entry.ready_time - now)
+            return HierarchyResult(latency=l1.config.hit_latency + latency,
+                                   hit_level="mshr")
+        outcome = self.controller.read(core_id, line_address, now,
+                                       speculative=speculative,
+                                       protect_coherence=protect_coherence,
+                                       fill_l2=False)
+        if outcome.nacked:
+            return HierarchyResult(latency=outcome.latency, hit_level="nack",
+                                   nacked=True)
+        l1.mshrs.allocate(line_address, now, outcome.latency)
+        total_latency = l1.config.hit_latency + outcome.latency
+        if (train_prefetcher_speculatively and not instruction
+                and outcome.hit_level in ("l2", "memory")):
+            # Only used when the commit-time prefetch protection is disabled
+            # (the "fcache only" ablation points of Figures 8 and 9).
+            self.train_l2_prefetcher(line_address, pc, now, was_miss=True)
+        return HierarchyResult(latency=total_latency,
+                               hit_level=outcome.hit_level,
+                               granted_state=S,
+                               exclusive_available=outcome.exclusive_available)
+
+    # -- commit-side operations ---------------------------------------------------
+    def commit_fill_l1(self, core_id: int, address: int, now: int, *,
+                       exclusive: bool = False, instruction: bool = False,
+                       asynchronous_reload: bool = False) -> None:
+        """Write a committed filter-cache line through into the L1.
+
+        ``exclusive`` installs the line in E and launches the asynchronous
+        upgrade of section 4.5 (invalidating stale copies elsewhere,
+        including other filter caches) off the critical path.
+        ``asynchronous_reload`` marks fills for lines that had already been
+        evicted from the filter cache: the line arrives after an L2/memory
+        round trip rather than immediately.
+        """
+        l1 = self._l1i[core_id] if instruction else self._l1d[core_id]
+        line_address = l1.line_address(address)
+        if l1.probe(line_address) is None:
+            ready_at = now
+            prefetched = False
+            if asynchronous_reload:
+                reload_latency = (self.config.l2.hit_latency
+                                  if self.l2.probe(line_address) is not None
+                                  else self.config.memory.access_latency)
+                ready_at = now + reload_latency
+                prefetched = True
+            state = E if exclusive else S
+            l1.fill(line_address, state, now, prefetched=prefetched,
+                    ready_at=ready_at,
+                    writeback_handler=lambda victim: self._writeback_to_l2(
+                        victim.address, now))
+            if self.l2.probe(line_address) is None:
+                # Keep the (mostly-inclusive) shared L2 aware of the line so
+                # later evictions and snoops behave sensibly.
+                self.l2.fill(line_address, S, now)
+        if exclusive and not instruction:
+            self.controller.asynchronous_exclusive_upgrade(core_id,
+                                                           line_address, now)
+
+    def commit_store(self, core_id: int, address: int, now: int, *,
+                     broadcast_to_filters: bool = False) -> HierarchyResult:
+        """Perform a committed store's write into the L1 (write-allocate).
+
+        Returns the latency of obtaining ownership.  When
+        ``broadcast_to_filters`` is set and the line was not already held
+        privately, the exclusive upgrade additionally invalidates every other
+        filter cache; the caller can read ``triggered_filter_broadcast`` to
+        build Figure 7.
+        """
+        self._store_commits.increment()
+        l1 = self._l1d[core_id]
+        line_address = l1.line_address(address)
+        line = l1.lookup(line_address, now)
+        already_private = line is not None and line.state.is_private
+        if already_private:
+            line.state = M
+            line.dirty = True
+            return HierarchyResult(latency=l1.config.hit_latency,
+                                   hit_level="l1", granted_state=M)
+        outcome = self.controller.write(
+            core_id, line_address, now, already_private=False,
+            broadcast_to_filters=broadcast_to_filters)
+        if broadcast_to_filters:
+            self._store_filter_broadcasts.increment()
+        l1.fill(line_address, M, now + outcome.latency, dirty=True,
+                writeback_handler=lambda victim: self._writeback_to_l2(
+                    victim.address, now + outcome.latency))
+        return HierarchyResult(
+            latency=l1.config.hit_latency + outcome.latency,
+            hit_level=outcome.hit_level, granted_state=M,
+            triggered_filter_broadcast=outcome.triggered_filter_broadcast)
+
+    # -- statistics convenience -----------------------------------------------
+    @property
+    def store_commits(self) -> int:
+        return self._store_commits.value
+
+    @property
+    def store_filter_broadcasts(self) -> int:
+        return self._store_filter_broadcasts.value

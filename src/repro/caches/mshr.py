@@ -1,0 +1,87 @@
+"""Miss status holding registers.
+
+Each cache has a small MSHR file (4 for the L1s and filter caches, 16 for
+the L2 in Table 1).  Outstanding misses to the same line merge into one
+entry; when the file is full, further misses stall and the access model
+charges a structural-hazard penalty.  Entries are retired lazily based on
+the cycle at which their fill completes, so the model needs no central event
+queue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+@dataclass
+class MSHREntry:
+    """One outstanding miss."""
+
+    line_address: int
+    issue_time: int
+    ready_time: int
+    merged_requests: int = 1
+
+
+class MSHRFile:
+    """A bounded set of outstanding misses for one cache."""
+
+    def __init__(self, num_entries: int) -> None:
+        if num_entries <= 0:
+            raise ValueError("MSHR file needs at least one entry")
+        self.num_entries = num_entries
+        self._entries: Dict[int, MSHREntry] = {}
+        self.full_stalls = 0
+        self.merges = 0
+
+    def _expire(self, now: int) -> None:
+        finished = [addr for addr, entry in self._entries.items()
+                    if entry.ready_time <= now]
+        for addr in finished:
+            del self._entries[addr]
+
+    def lookup(self, line_address: int, now: int) -> Optional[MSHREntry]:
+        """Return the in-flight entry for this line, if any."""
+        self._expire(now)
+        return self._entries.get(line_address)
+
+    def allocate(self, line_address: int, now: int,
+                 fill_latency: int) -> MSHREntry:
+        """Allocate (or merge into) an entry for a miss issued at ``now``.
+
+        Returns the entry; callers read ``ready_time`` to learn when the
+        fill completes.  If the file is full the issue is delayed until the
+        earliest entry retires, modelling the structural stall.
+        """
+        self._expire(now)
+        existing = self._entries.get(line_address)
+        if existing is not None:
+            existing.merged_requests += 1
+            self.merges += 1
+            return existing
+        issue_time = now
+        if len(self._entries) >= self.num_entries:
+            earliest = min(entry.ready_time for entry in self._entries.values())
+            issue_time = max(now, earliest)
+            self.full_stalls += 1
+            # Retire everything that will have finished by then.
+            self._expire(issue_time)
+            if len(self._entries) >= self.num_entries:
+                # Still full (all ready later): wait for the earliest one.
+                earliest_addr = min(self._entries,
+                                    key=lambda a: self._entries[a].ready_time)
+                issue_time = self._entries[earliest_addr].ready_time
+                del self._entries[earliest_addr]
+        entry = MSHREntry(line_address=line_address, issue_time=issue_time,
+                          ready_time=issue_time + fill_latency)
+        self._entries[line_address] = entry
+        return entry
+
+    def occupancy(self, now: int) -> int:
+        self._expire(now)
+        return len(self._entries)
+
+    @property
+    def capacity(self) -> int:
+        return self.num_entries

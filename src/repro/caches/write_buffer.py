@@ -1,0 +1,47 @@
+"""A small committed-store write buffer.
+
+Committed stores drain from the store queue into the L1 through this buffer
+so that store commit does not stall the pipeline unless the buffer is full.
+The timing model is coarse: each drained store occupies the buffer for the
+latency of its L1 access, and a commit that finds the buffer full pays the
+time until the oldest entry drains.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Tuple
+
+
+class WriteBuffer:
+    """Bounded FIFO of committed stores awaiting their cache write."""
+
+    def __init__(self, entries: int = 16) -> None:
+        if entries <= 0:
+            raise ValueError("write buffer needs at least one entry")
+        self.entries = entries
+        self._pending: Deque[Tuple[int, int]] = deque()  # (address, drain_at)
+        self.full_stalls = 0
+
+    def _drain(self, now: int) -> None:
+        while self._pending and self._pending[0][1] <= now:
+            self._pending.popleft()
+
+    def push(self, address: int, now: int, drain_latency: int) -> int:
+        """Insert a committed store; returns the stall (0 if buffer had room)."""
+        self._drain(now)
+        stall = 0
+        if len(self._pending) >= self.entries:
+            oldest_drain = self._pending[0][1]
+            stall = max(0, oldest_drain - now)
+            self.full_stalls += 1
+            self._drain(now + stall)
+            if len(self._pending) >= self.entries:
+                self._pending.popleft()
+        drain_at = now + stall + drain_latency
+        self._pending.append((address, drain_at))
+        return stall
+
+    def occupancy(self, now: int) -> int:
+        self._drain(now)
+        return len(self._pending)

@@ -1,0 +1,146 @@
+"""The snooping interconnect between private caches and the shared L2.
+
+The bus tracks which private (per-core) caches are registered, lets the
+coherence controller probe and downgrade them, and carries the two kinds of
+broadcast MuonTrap adds: negative acknowledgements (NACKs) of speculative
+requests that would disturb another core's private M/E line (section 4.5,
+"reduced coherency speculation"), and filter-cache invalidation broadcasts
+on exclusive upgrades (the cost measured in Figure 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+
+from repro.coherence.states import CoherenceState, I, S
+from repro.common.statistics import StatGroup
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance, typing only
+    from repro.caches.base_cache import SetAssociativeCache
+
+# A filter-invalidation listener receives (line_address) and invalidates any
+# copy its filter cache holds.  Registered per core by the MuonTrap memory
+# system; other memory systems register nothing.
+FilterInvalidationListener = Callable[[int], None]
+
+
+@dataclass
+class SnoopResult:
+    """What snooping the other private caches found for one line."""
+
+    dirty_owner: Optional[int] = None
+    exclusive_owner: Optional[int] = None
+    sharers: List[int] = field(default_factory=list)
+
+    @property
+    def has_private_owner(self) -> bool:
+        return self.dirty_owner is not None or self.exclusive_owner is not None
+
+    @property
+    def any_copy(self) -> bool:
+        return self.has_private_owner or bool(self.sharers)
+
+
+class CoherenceBus:
+    """Registry of private caches plus snoop/broadcast primitives."""
+
+    def __init__(self, stats: Optional[StatGroup] = None,
+                 snoop_latency: int = 8,
+                 dirty_transfer_latency: int = 12) -> None:
+        self.snoop_latency = snoop_latency
+        self.dirty_transfer_latency = dirty_transfer_latency
+        self._private_caches: Dict[int, "SetAssociativeCache"] = {}
+        self._filter_listeners: Dict[int, List[FilterInvalidationListener]] = {}
+        stats = stats or StatGroup("bus")
+        self.stats = stats
+        self._snoops = stats.counter("snoops")
+        self._nacks = stats.counter("nacks", "speculative requests delayed")
+        self._filter_broadcasts = stats.counter(
+            "filter_invalidate_broadcasts",
+            "exclusive upgrades that had to broadcast to filter caches")
+        self._downgrades = stats.counter("downgrades")
+        self._invalidations = stats.counter("invalidations")
+
+    # -- registration -------------------------------------------------------
+    def register_private_cache(self, core_id: int,
+                               cache: "SetAssociativeCache") -> None:
+        self._private_caches[core_id] = cache
+
+    def register_filter_listener(self, core_id: int,
+                                 listener: FilterInvalidationListener) -> None:
+        self._filter_listeners.setdefault(core_id, []).append(listener)
+
+    @property
+    def core_ids(self) -> List[int]:
+        return sorted(self._private_caches)
+
+    def private_cache(self, core_id: int) -> "SetAssociativeCache":
+        return self._private_caches[core_id]
+
+    # -- snooping -----------------------------------------------------------
+    def snoop(self, requester: int, line_address: int) -> SnoopResult:
+        """Find where (other than the requester) the line currently lives."""
+        self._snoops.increment()
+        result = SnoopResult()
+        for core_id, cache in self._private_caches.items():
+            if core_id == requester:
+                continue
+            line = cache.probe(line_address)
+            if line is None or not line.valid:
+                continue
+            if line.state is CoherenceState.MODIFIED:
+                result.dirty_owner = core_id
+            elif line.state is CoherenceState.EXCLUSIVE:
+                result.exclusive_owner = core_id
+            else:
+                result.sharers.append(core_id)
+        return result
+
+    def record_nack(self) -> None:
+        self._nacks.increment()
+
+    # -- state-changing broadcasts -------------------------------------------
+    def downgrade_others(self, requester: int, line_address: int,
+                         to_state: CoherenceState = S) -> int:
+        """Downgrade every other private copy; returns how many were touched."""
+        touched = 0
+        for core_id, cache in self._private_caches.items():
+            if core_id == requester:
+                continue
+            if cache.downgrade(line_address, to_state) is not None:
+                touched += 1
+                if to_state is I:
+                    self._invalidations.increment()
+                else:
+                    self._downgrades.increment()
+        return touched
+
+    def invalidate_others(self, requester: int, line_address: int) -> int:
+        return self.downgrade_others(requester, line_address, I)
+
+    def broadcast_filter_invalidate(self, requester: int,
+                                    line_address: int) -> int:
+        """Invalidate the line in every other core's filter cache.
+
+        Used on exclusive upgrades when the writer did not already hold the
+        line privately (section 4.5); Figure 7 reports how often this is
+        needed.
+        """
+        self._filter_broadcasts.increment()
+        notified = 0
+        for core_id, listeners in self._filter_listeners.items():
+            if core_id == requester:
+                continue
+            for listener in listeners:
+                listener(line_address)
+                notified += 1
+        return notified
+
+    @property
+    def nacks(self) -> int:
+        return self._nacks.value
+
+    @property
+    def filter_broadcasts(self) -> int:
+        return self._filter_broadcasts.value

@@ -1,0 +1,203 @@
+"""The MESI coherence controller for the non-speculative hierarchy.
+
+This module decides, for every load, store, instruction fetch and prefetch,
+what the rest of the hierarchy has to do: which caches are snooped, which
+lines are downgraded or invalidated, where the data comes from, what
+coherence state the requester receives, and how long the whole transaction
+takes.  The MuonTrap-specific behaviour (NACKing speculative requests that
+would disturb another core's private M/E copy, and granting only Shared to
+filter caches with an ``SE`` hint) is driven by flags on the request so the
+same controller serves every protection mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro.coherence.bus import CoherenceBus
+from repro.coherence.states import CoherenceState, E, I, M, S
+from repro.common.statistics import StatGroup
+from repro.memory.main_memory import MainMemory
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance, typing only
+    from repro.caches.base_cache import SetAssociativeCache
+
+
+@dataclass
+class AccessOutcome:
+    """Result of one request against the non-speculative hierarchy."""
+
+    latency: int
+    granted_state: CoherenceState = S
+    nacked: bool = False
+    hit_level: str = "memory"
+    exclusive_available: bool = False
+    triggered_filter_broadcast: bool = False
+
+    @property
+    def served(self) -> bool:
+        return not self.nacked
+
+
+class CoherenceController:
+    """Implements MESI over the private L1s, the shared L2 and memory."""
+
+    def __init__(self, bus: CoherenceBus, l2: "SetAssociativeCache",
+                 memory: MainMemory,
+                 stats: Optional[StatGroup] = None) -> None:
+        self.bus = bus
+        self.l2 = l2
+        self.memory = memory
+        stats = stats or StatGroup("coherence")
+        self.stats = stats
+        self._reads = stats.counter("read_requests")
+        self._writes = stats.counter("write_requests")
+        self._upgrades = stats.counter("exclusive_upgrades")
+        self._nacked_reads = stats.counter("nacked_speculative_reads")
+        self._dirty_transfers = stats.counter("dirty_transfers")
+
+    # -- internals -----------------------------------------------------------
+    def _fetch_into_l2(self, line_address: int, now: int) -> int:
+        """Bring a line into the L2 from memory; returns added latency."""
+        latency = self.memory.read(line_address, now)
+        self.l2.fill(line_address, E, now + latency,
+                     writeback_handler=lambda victim: self.memory.write(
+                         victim.address, now + latency))
+        return latency
+
+    def _l2_lookup_latency(self, line_address: int, now: int) -> Optional[int]:
+        """L2 access latency if the line is resident (None on L2 miss)."""
+        line = self.l2.lookup(line_address, now)
+        if line is None:
+            self.l2.record_miss()
+            return None
+        self.l2.record_hit()
+        latency = self.l2.config.hit_latency
+        if line.prefetched and line.ready_at > now:
+            # The prefetch that installed this line has not completed yet:
+            # the demand access pays the remaining fill time.
+            latency += line.ready_at - now
+            line.prefetched = False
+        return latency
+
+    # -- read path -----------------------------------------------------------
+    def read(self, requester: int, line_address: int, now: int,
+             speculative: bool = False,
+             protect_coherence: bool = False,
+             want_exclusive_hint: bool = True,
+             fill_l2: bool = True) -> AccessOutcome:
+        """Serve a read miss from the requester's private L1 (or filter cache).
+
+        ``protect_coherence`` enables MuonTrap's reduced coherency
+        speculation: a speculative read that would force another core's
+        private M/E line to S is NACKed instead of serviced.
+
+        ``fill_l2=False`` serves the request without installing the line in
+        the shared L2 on an L2 miss.  This is the filter-cache fill path
+        (section 4.1): data fetched on behalf of a speculative access must
+        go directly into the filter cache and leave no trace in any
+        non-speculative cache.
+        """
+        self._reads.increment()
+        snoop = self.bus.snoop(requester, line_address)
+        latency = self.bus.snoop_latency
+
+        if snoop.dirty_owner is not None or snoop.exclusive_owner is not None:
+            if protect_coherence and speculative:
+                # MuonTrap: do not disturb another core's private copy on
+                # behalf of a speculative instruction.  The requester retries
+                # once the access is non-speculative.
+                self.bus.record_nack()
+                self._nacked_reads.increment()
+                return AccessOutcome(latency=latency, nacked=True,
+                                     granted_state=I, hit_level="nack")
+            owner = (snoop.dirty_owner if snoop.dirty_owner is not None
+                     else snoop.exclusive_owner)
+            owner_cache = self.bus.private_cache(owner)
+            was_dirty = snoop.dirty_owner is not None
+            owner_cache.downgrade(line_address, S)
+            if was_dirty:
+                # Writeback to the shared L2 so the requester reads clean data.
+                self.l2.fill(line_address, S, now + latency, dirty=True,
+                             writeback_handler=lambda victim: self.memory.write(
+                                 victim.address, now + latency))
+                self._dirty_transfers.increment()
+                latency += self.bus.dirty_transfer_latency
+            else:
+                latency += self.l2.config.hit_latency
+                if self.l2.probe(line_address) is None:
+                    self.l2.fill(line_address, S, now + latency)
+            return AccessOutcome(latency=latency, granted_state=S,
+                                 hit_level="peer")
+
+        # No private owner elsewhere: the L2 (or memory) supplies the line.
+        l2_latency = self._l2_lookup_latency(line_address, now + latency)
+        if l2_latency is None:
+            if fill_l2:
+                latency += self._fetch_into_l2(line_address, now + latency)
+            else:
+                latency += self.memory.read(line_address, now + latency)
+            hit_level = "memory"
+        else:
+            latency += l2_latency
+            hit_level = "l2"
+        exclusive_ok = not snoop.sharers and want_exclusive_hint
+        granted = E if exclusive_ok else S
+        return AccessOutcome(latency=latency, granted_state=granted,
+                             hit_level=hit_level,
+                             exclusive_available=exclusive_ok)
+
+    # -- write path ------------------------------------------------------------
+    def write(self, requester: int, line_address: int, now: int,
+              already_private: bool = False,
+              broadcast_to_filters: bool = False) -> AccessOutcome:
+        """Obtain Modified ownership for a committed store.
+
+        ``already_private`` is set when the requester's own L1 already holds
+        the line in M or E, in which case no bus transaction is needed.
+        ``broadcast_to_filters`` additionally invalidates every other filter
+        cache (the MuonTrap invalidation broadcast of section 4.5), which is
+        only required when the line was *not* already private.
+        """
+        self._writes.increment()
+        if already_private:
+            return AccessOutcome(latency=0, granted_state=M, hit_level="l1")
+
+        snoop = self.bus.snoop(requester, line_address)
+        latency = self.bus.snoop_latency
+        if snoop.dirty_owner is not None:
+            self.l2.fill(line_address, S, now + latency, dirty=True)
+            latency += self.bus.dirty_transfer_latency
+            self._dirty_transfers.increment()
+        self.bus.invalidate_others(requester, line_address)
+
+        l2_latency = self._l2_lookup_latency(line_address, now + latency)
+        if l2_latency is None:
+            latency += self._fetch_into_l2(line_address, now + latency)
+            hit_level = "memory"
+        else:
+            latency += l2_latency
+            hit_level = "l2"
+
+        triggered = False
+        if broadcast_to_filters:
+            self.bus.broadcast_filter_invalidate(requester, line_address)
+            triggered = True
+        self._upgrades.increment()
+        return AccessOutcome(latency=latency, granted_state=M,
+                             hit_level=hit_level,
+                             triggered_filter_broadcast=triggered)
+
+    # -- asynchronous exclusive upgrade (the SE pseudo-state, section 4.5) -----
+    def asynchronous_exclusive_upgrade(self, requester: int,
+                                       line_address: int, now: int) -> None:
+        """Upgrade a committed load's line to Exclusive off the critical path.
+
+        Launched from the L1 when a line that was filled in the ``SE``
+        pseudo-state commits.  Invalidates stale copies elsewhere (including
+        other filter caches) but adds no latency to the committing core.
+        """
+        self._upgrades.increment()
+        self.bus.invalidate_others(requester, line_address)
+        self.bus.broadcast_filter_invalidate(requester, line_address)

@@ -1,0 +1,66 @@
+"""A snoop filter (sharer-tracking directory) for the shared L2.
+
+The paper notes that MuonTrap's filter-cache invalidation broadcast must be
+timing-invariant even when a snoop filter is present, and that the broadcast
+only needs to reach cores below a shared cache that could hold the line.
+This module provides the sharer-tracking structure used to scope those
+multicasts and to keep snoop traffic statistics.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Optional, Set
+
+from repro.common.statistics import StatGroup
+
+
+class SnoopFilter:
+    """Tracks which cores may hold each line in a private cache."""
+
+    def __init__(self, stats: Optional[StatGroup] = None,
+                 max_entries: int = 64 * 1024) -> None:
+        self.max_entries = max_entries
+        self._sharers: Dict[int, Set[int]] = defaultdict(set)
+        stats = stats or StatGroup("snoop_filter")
+        self.stats = stats
+        self._lookups = stats.counter("lookups")
+        self._filtered = stats.counter("filtered_snoops")
+        self._evictions = stats.counter("entry_evictions")
+
+    def record_fill(self, core_id: int, line_address: int) -> None:
+        """A core obtained a copy of the line."""
+        if (line_address not in self._sharers
+                and len(self._sharers) >= self.max_entries):
+            # Capacity eviction: drop an arbitrary (oldest-inserted) entry.
+            victim = next(iter(self._sharers))
+            del self._sharers[victim]
+            self._evictions.increment()
+        self._sharers[line_address].add(core_id)
+
+    def record_eviction(self, core_id: int, line_address: int) -> None:
+        sharers = self._sharers.get(line_address)
+        if sharers is None:
+            return
+        sharers.discard(core_id)
+        if not sharers:
+            del self._sharers[line_address]
+
+    def sharers_of(self, line_address: int) -> Set[int]:
+        self._lookups.increment()
+        return set(self._sharers.get(line_address, set()))
+
+    def needs_snoop(self, requester: int, line_address: int) -> bool:
+        """True when someone other than the requester may hold the line."""
+        others = self.sharers_of(line_address) - {requester}
+        if not others:
+            self._filtered.increment()
+            return False
+        return True
+
+    def multicast_targets(self, requester: int, line_address: int) -> Set[int]:
+        """Cores whose filter caches must receive an invalidation broadcast."""
+        return self.sharers_of(line_address) - {requester}
+
+    def __len__(self) -> int:
+        return len(self._sharers)

@@ -1,0 +1,49 @@
+"""MESI coherence states.
+
+Non-speculative caches (L1, L2) use the full MESI protocol.  A MuonTrap
+speculative filter cache only ever holds lines in Shared or Invalid, plus the
+``SE`` pseudo-state of section 4.5: the line behaves as Shared for the
+protocol but records that an unprotected system would have installed it in
+Exclusive, so that an asynchronous upgrade can be launched when the access
+commits.  ``SE`` is represented by a flag on the filter-cache line rather
+than a protocol state, keeping the functional protocol unchanged, exactly as
+the paper describes.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class CoherenceState(enum.Enum):
+    """The MESI states used by non-speculative caches."""
+
+    MODIFIED = "M"
+    EXCLUSIVE = "E"
+    SHARED = "S"
+    INVALID = "I"
+
+    @property
+    def is_valid(self) -> bool:
+        return self is not CoherenceState.INVALID
+
+    @property
+    def can_read(self) -> bool:
+        return self in (CoherenceState.MODIFIED, CoherenceState.EXCLUSIVE,
+                        CoherenceState.SHARED)
+
+    @property
+    def can_write(self) -> bool:
+        return self is CoherenceState.MODIFIED
+
+    @property
+    def is_private(self) -> bool:
+        """True for states that imply no other cache holds the line."""
+        return self in (CoherenceState.MODIFIED, CoherenceState.EXCLUSIVE)
+
+
+# Short aliases used throughout the coherence and cache code.
+M = CoherenceState.MODIFIED
+E = CoherenceState.EXCLUSIVE
+S = CoherenceState.SHARED
+I = CoherenceState.INVALID  # noqa: E741 - deliberate, mirrors protocol notation

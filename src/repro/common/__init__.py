@@ -1,0 +1,57 @@
+"""Shared configuration, statistics and utility code."""
+
+from repro.common.addresses import (
+    AddressRange,
+    block_align,
+    block_number,
+    block_offset,
+    page_align,
+    page_number,
+    page_offset,
+    set_index,
+)
+from repro.common.params import (
+    BranchPredictorConfig,
+    CacheConfig,
+    CoreConfig,
+    FilterCacheConfig,
+    MemoryConfig,
+    ProtectionConfig,
+    ProtectionMode,
+    SystemConfig,
+    TLBConfig,
+    default_system_config,
+    parsec_system_config,
+    spec_system_config,
+)
+from repro.common.rng import DeterministicRng
+from repro.common.statistics import Counter, Histogram, StatGroup, geometric_mean, ratio
+
+__all__ = [
+    "AddressRange",
+    "BranchPredictorConfig",
+    "CacheConfig",
+    "CoreConfig",
+    "Counter",
+    "DeterministicRng",
+    "FilterCacheConfig",
+    "Histogram",
+    "MemoryConfig",
+    "ProtectionConfig",
+    "ProtectionMode",
+    "StatGroup",
+    "SystemConfig",
+    "TLBConfig",
+    "block_align",
+    "block_number",
+    "block_offset",
+    "default_system_config",
+    "geometric_mean",
+    "page_align",
+    "page_number",
+    "page_offset",
+    "parsec_system_config",
+    "ratio",
+    "set_index",
+    "spec_system_config",
+]

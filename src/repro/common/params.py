@@ -1,0 +1,255 @@
+"""Configuration dataclasses for the simulated system.
+
+The default values mirror Table 1 of the MuonTrap paper: an 8-wide
+out-of-order core at 2 GHz with a 192-entry ROB, 64-entry issue queue,
+32-entry load and store queues, a tournament branch predictor, split 32 KiB /
+64 KiB L1 caches, 2 KiB 4-way filter caches with 1-cycle hit latency, a
+shared 2 MiB L2 with a stride prefetcher, and DDR3-1600 main memory.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+
+class ProtectionMode(enum.Enum):
+    """Which defence (if any) the simulated memory system implements."""
+
+    UNPROTECTED = "unprotected"
+    INSECURE_L0 = "insecure-l0"
+    MUONTRAP = "muontrap"
+    INVISISPEC_SPECTRE = "invisispec-spectre"
+    INVISISPEC_FUTURE = "invisispec-future"
+    STT_SPECTRE = "stt-spectre"
+    STT_FUTURE = "stt-future"
+
+    @property
+    def is_invisispec(self) -> bool:
+        return self in (ProtectionMode.INVISISPEC_SPECTRE,
+                        ProtectionMode.INVISISPEC_FUTURE)
+
+    @property
+    def is_stt(self) -> bool:
+        return self in (ProtectionMode.STT_SPECTRE, ProtectionMode.STT_FUTURE)
+
+    @property
+    def uses_filter_cache(self) -> bool:
+        return self in (ProtectionMode.MUONTRAP, ProtectionMode.INSECURE_L0)
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and timing of a single cache."""
+
+    name: str
+    size_bytes: int
+    associativity: int
+    line_size: int = 64
+    hit_latency: int = 1
+    mshrs: int = 4
+    replacement: str = "lru"
+    prefetcher: Optional[str] = None
+    prefetch_degree: int = 1
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError("cache size must be positive")
+        if self.line_size <= 0 or self.line_size & (self.line_size - 1):
+            raise ValueError("line size must be a positive power of two")
+        if self.size_bytes % self.line_size:
+            raise ValueError("cache size must be a multiple of the line size")
+        lines = self.size_bytes // self.line_size
+        if self.associativity <= 0 or self.associativity > lines:
+            raise ValueError(
+                "associativity must be between 1 and the number of lines")
+        if lines % self.associativity:
+            raise ValueError("lines must divide evenly into sets")
+
+    @property
+    def num_lines(self) -> int:
+        return self.size_bytes // self.line_size
+
+    @property
+    def num_sets(self) -> int:
+        return self.num_lines // self.associativity
+
+
+@dataclass(frozen=True)
+class FilterCacheConfig:
+    """Geometry of a speculative filter cache (the MuonTrap L0)."""
+
+    size_bytes: int = 2048
+    associativity: int = 4
+    line_size: int = 64
+    hit_latency: int = 1
+    mshrs: int = 4
+
+    def __post_init__(self) -> None:
+        lines = self.size_bytes // self.line_size
+        if lines < 1:
+            raise ValueError("filter cache must hold at least one line")
+        if self.associativity > lines:
+            raise ValueError("associativity larger than number of lines")
+
+    @property
+    def num_lines(self) -> int:
+        return self.size_bytes // self.line_size
+
+    @property
+    def num_sets(self) -> int:
+        return max(1, self.num_lines // self.associativity)
+
+    def fully_associative(self) -> "FilterCacheConfig":
+        """Return a copy that is fully associative (used by Figure 5)."""
+        return replace(self, associativity=self.num_lines)
+
+
+@dataclass(frozen=True)
+class BranchPredictorConfig:
+    """Tournament predictor sizes from Table 1."""
+
+    local_entries: int = 2048
+    global_entries: int = 8192
+    chooser_entries: int = 2048
+    btb_entries: int = 4096
+    ras_entries: int = 16
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Out-of-order core parameters from Table 1."""
+
+    width: int = 8
+    rob_entries: int = 192
+    iq_entries: int = 64
+    lq_entries: int = 32
+    sq_entries: int = 32
+    int_registers: int = 256
+    fp_registers: int = 256
+    int_alus: int = 6
+    fp_alus: int = 4
+    mult_div_alus: int = 2
+    branch_predictor: BranchPredictorConfig = field(
+        default_factory=BranchPredictorConfig)
+    mispredict_penalty: int = 12
+    frequency_ghz: float = 2.0
+
+
+@dataclass(frozen=True)
+class TLBConfig:
+    """Split instruction/data TLBs, 64 entries, fully associative."""
+
+    entries: int = 64
+    page_size: int = 4096
+    hit_latency: int = 0
+    walk_latency: int = 30
+    filter_entries: int = 16
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """DRAM timing (DDR3-1600 11-11-11-28 at a 2 GHz core clock)."""
+
+    access_latency: int = 150
+    line_size: int = 64
+
+
+@dataclass(frozen=True)
+class ProtectionConfig:
+    """Which MuonTrap mechanisms are enabled.
+
+    Figures 8 and 9 of the paper enable these cumulatively:
+    ``data_filter_cache`` -> ``coherence_protection`` ->
+    ``instruction_filter_cache`` -> ``commit_time_prefetch`` ->
+    ``clear_on_misspeculate`` (optional) -> ``parallel_l1_access``
+    (optional optimisation).
+    """
+
+    data_filter_cache: bool = True
+    instruction_filter_cache: bool = True
+    filter_tlb: bool = True
+    coherence_protection: bool = True
+    commit_time_prefetch: bool = True
+    clear_on_misspeculate: bool = False
+    clear_on_context_switch: bool = True
+    parallel_l1_access: bool = False
+
+    @staticmethod
+    def none() -> "ProtectionConfig":
+        """All mechanisms disabled (used for the insecure-L0 ablation)."""
+        return ProtectionConfig(
+            data_filter_cache=False,
+            instruction_filter_cache=False,
+            filter_tlb=False,
+            coherence_protection=False,
+            commit_time_prefetch=False,
+            clear_on_misspeculate=False,
+            clear_on_context_switch=False,
+            parallel_l1_access=False,
+        )
+
+    @staticmethod
+    def full() -> "ProtectionConfig":
+        """The default MuonTrap configuration evaluated in the paper."""
+        return ProtectionConfig()
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Complete configuration of a simulated system (Table 1 by default)."""
+
+    mode: ProtectionMode = ProtectionMode.MUONTRAP
+    num_cores: int = 1
+    core: CoreConfig = field(default_factory=CoreConfig)
+    l1i: CacheConfig = field(default_factory=lambda: CacheConfig(
+        name="l1i", size_bytes=32 * 1024, associativity=2, hit_latency=1,
+        mshrs=4))
+    l1d: CacheConfig = field(default_factory=lambda: CacheConfig(
+        name="l1d", size_bytes=64 * 1024, associativity=2, hit_latency=2,
+        mshrs=4))
+    l2: CacheConfig = field(default_factory=lambda: CacheConfig(
+        name="l2", size_bytes=2 * 1024 * 1024, associativity=8,
+        hit_latency=20, mshrs=16, prefetcher="stride"))
+    data_filter: FilterCacheConfig = field(default_factory=FilterCacheConfig)
+    inst_filter: FilterCacheConfig = field(default_factory=FilterCacheConfig)
+    tlb: TLBConfig = field(default_factory=TLBConfig)
+    memory: MemoryConfig = field(default_factory=MemoryConfig)
+    protection: ProtectionConfig = field(default_factory=ProtectionConfig)
+
+    def __post_init__(self) -> None:
+        if self.num_cores < 1:
+            raise ValueError("need at least one core")
+        if self.l1d.line_size != self.l2.line_size:
+            raise ValueError("cache line sizes must match across the "
+                             "hierarchy (section 4.1 of the paper)")
+
+    def with_mode(self, mode: ProtectionMode) -> "SystemConfig":
+        return replace(self, mode=mode)
+
+    def with_protection(self, protection: ProtectionConfig) -> "SystemConfig":
+        return replace(self, protection=protection)
+
+    def with_cores(self, num_cores: int) -> "SystemConfig":
+        return replace(self, num_cores=num_cores)
+
+    def with_data_filter(self, data_filter: FilterCacheConfig) -> "SystemConfig":
+        return replace(self, data_filter=data_filter)
+
+
+def default_system_config(mode: ProtectionMode = ProtectionMode.MUONTRAP,
+                          num_cores: int = 1) -> SystemConfig:
+    """The Table 1 system, in the requested protection mode."""
+    return SystemConfig(mode=mode, num_cores=num_cores)
+
+
+def spec_system_config(mode: ProtectionMode = ProtectionMode.MUONTRAP) -> SystemConfig:
+    """Single-core system used for SPEC CPU2006 experiments."""
+    return default_system_config(mode=mode, num_cores=1)
+
+
+def parsec_system_config(mode: ProtectionMode = ProtectionMode.MUONTRAP,
+                         num_cores: int = 4) -> SystemConfig:
+    """Four-core system used for Parsec experiments."""
+    return default_system_config(mode=mode, num_cores=num_cores)

@@ -1,0 +1,173 @@
+"""Lightweight statistics collection.
+
+Every component in the simulator registers named counters and histograms on a
+shared :class:`StatGroup`.  The groups form a tree rooted at the system so
+experiment code can dump everything in one call, mirroring the role of gem5's
+stats framework in the original evaluation.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+
+
+class Counter:
+    """A monotonically increasing integer statistic."""
+
+    def __init__(self, name: str, description: str = "") -> None:
+        self.name = name
+        self.description = description
+        self.value = 0
+
+    def increment(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Histogram:
+    """A sparse histogram of integer samples."""
+
+    def __init__(self, name: str, description: str = "") -> None:
+        self.name = name
+        self.description = description
+        self._buckets: Dict[int, int] = defaultdict(int)
+        self._count = 0
+        self._total = 0
+
+    def sample(self, value: int, weight: int = 1) -> None:
+        self._buckets[value] += weight
+        self._count += weight
+        self._total += value * weight
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def total(self) -> int:
+        return self._total
+
+    @property
+    def mean(self) -> float:
+        return self._total / self._count if self._count else 0.0
+
+    def buckets(self) -> Mapping[int, int]:
+        return dict(self._buckets)
+
+    def reset(self) -> None:
+        self._buckets.clear()
+        self._count = 0
+        self._total = 0
+
+
+class StatGroup:
+    """A named collection of counters, histograms and child groups."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._children: Dict[str, "StatGroup"] = {}
+
+    # -- construction -----------------------------------------------------
+    def counter(self, name: str, description: str = "") -> Counter:
+        """Return the counter called ``name``, creating it if necessary."""
+        if name not in self._counters:
+            self._counters[name] = Counter(name, description)
+        return self._counters[name]
+
+    def histogram(self, name: str, description: str = "") -> Histogram:
+        if name not in self._histograms:
+            self._histograms[name] = Histogram(name, description)
+        return self._histograms[name]
+
+    def child(self, name: str) -> "StatGroup":
+        if name not in self._children:
+            self._children[name] = StatGroup(name)
+        return self._children[name]
+
+    # -- access -----------------------------------------------------------
+    def get(self, path: str) -> int:
+        """Read a counter by dotted path, e.g. ``"l1d.hits"``."""
+        group, leaf = self._resolve(path)
+        if leaf in group._counters:
+            return group._counters[leaf].value
+        raise KeyError(path)
+
+    def get_or_zero(self, path: str) -> int:
+        try:
+            return self.get(path)
+        except KeyError:
+            return 0
+
+    def _resolve(self, path: str) -> Tuple["StatGroup", str]:
+        parts = path.split(".")
+        group: StatGroup = self
+        for part in parts[:-1]:
+            if part not in group._children:
+                raise KeyError(path)
+            group = group._children[part]
+        return group, parts[-1]
+
+    # -- reporting --------------------------------------------------------
+    def walk(self, prefix: str = "") -> Iterator[Tuple[str, int]]:
+        """Yield ``(dotted_name, value)`` for every counter in the tree."""
+        base = f"{prefix}{self.name}." if self.name else prefix
+        for name, counter in sorted(self._counters.items()):
+            yield base + name, counter.value
+        for name, histogram in sorted(self._histograms.items()):
+            yield base + name + ".count", histogram.count
+            yield base + name + ".total", histogram.total
+        for name in sorted(self._children):
+            yield from self._children[name].walk(base)
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self.walk())
+
+    def reset(self) -> None:
+        for counter in self._counters.values():
+            counter.reset()
+        for histogram in self._histograms.values():
+            histogram.reset()
+        for childgroup in self._children.values():
+            childgroup.reset()
+
+    def report(self, indent: int = 0) -> str:
+        """A human-readable multi-line report of the whole tree."""
+        lines: List[str] = []
+        pad = "  " * indent
+        if self.name:
+            lines.append(f"{pad}{self.name}:")
+            pad += "  "
+        for name, counter in sorted(self._counters.items()):
+            lines.append(f"{pad}{name:<32} {counter.value}")
+        for name, histogram in sorted(self._histograms.items()):
+            lines.append(
+                f"{pad}{name:<32} count={histogram.count} mean={histogram.mean:.2f}")
+        for name in sorted(self._children):
+            lines.append(self._children[name].report(indent + 1))
+        return "\n".join(lines)
+
+
+def ratio(numerator: int, denominator: int,
+          default: float = 0.0) -> float:
+    """Safe division used by the experiment reporting code."""
+    return numerator / denominator if denominator else default
+
+
+def geometric_mean(values: List[float]) -> float:
+    """Geometric mean of positive values (0 for an empty list)."""
+    if not values:
+        return 0.0
+    product = 1.0
+    for value in values:
+        if value <= 0:
+            raise ValueError("geometric mean requires positive values")
+        product *= value
+    return product ** (1.0 / len(values))

@@ -1,0 +1,18 @@
+"""MuonTrap: the speculative filter caches and the protected memory system."""
+
+from repro.core.domains import (
+    DomainKind,
+    DomainTracker,
+    ProtectionDomain,
+)
+from repro.core.filter_cache import FilterLookupResult, SpeculativeFilterCache
+from repro.core.muontrap import MuonTrapMemorySystem
+
+__all__ = [
+    "DomainKind",
+    "DomainTracker",
+    "FilterLookupResult",
+    "MuonTrapMemorySystem",
+    "ProtectionDomain",
+    "SpeculativeFilterCache",
+]

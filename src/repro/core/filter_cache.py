@@ -1,0 +1,285 @@
+"""The speculative filter cache (sections 4.1-4.5 of the paper).
+
+A filter cache is a small, 1-cycle, set-associative L0 placed between the
+core and the L1.  It is the only structure speculative memory state is
+allowed to reach:
+
+* lines are filled directly from the hierarchy without touching the L1/L2
+  (non-inclusive, non-exclusive);
+* every line carries a *committed* bit (section 4.2): it is set when an
+  instruction using the line reaches in-order commit, at which point the
+  line is written through to the L1;
+* validity is stored in per-line valid bits held outside the SRAM so the
+  whole cache can be invalidated in a single cycle (section 4.3);
+* lines are tagged with both the virtual and the physical address
+  (section 4.4) so the cache is virtually indexed from the CPU side and can
+  still be snooped by physical address;
+* coherence-wise a line is only ever Shared; the ``SE`` pseudo-state flag
+  records that an unprotected system would have taken Exclusive, so an
+  asynchronous upgrade can be launched at commit (section 4.5);
+* each line records the hierarchy level it was filled from so commit-time
+  prefetch notifications can be routed there (section 4.6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.caches.cache_line import CacheLine
+from repro.caches.mshr import MSHRFile
+from repro.coherence.states import I, S
+from repro.common.addresses import block_align
+from repro.common.params import FilterCacheConfig
+from repro.common.statistics import StatGroup
+
+
+@dataclass
+class FilterLookupResult:
+    """Outcome of a CPU-side filter-cache lookup."""
+
+    hit: bool
+    latency: int
+    line: Optional[CacheLine] = None
+
+
+class SpeculativeFilterCache:
+    """The MuonTrap L0 cache for one core (data or instruction side)."""
+
+    def __init__(self, config: Optional[FilterCacheConfig] = None,
+                 stats: Optional[StatGroup] = None,
+                 name: str = "filter_cache") -> None:
+        self.config = config or FilterCacheConfig()
+        self.name = name
+        self.line_size = self.config.line_size
+        self.num_sets = self.config.num_sets
+        self.associativity = min(self.config.associativity,
+                                 self.config.num_lines)
+        self._sets: List[List[CacheLine]] = [
+            [CacheLine() for _ in range(self.associativity)]
+            for _ in range(self.num_sets)
+        ]
+        # Valid bits live in registers outside the SRAM so that a protection
+        # domain switch can clear the whole cache in one cycle.
+        self._valid_bits: List[List[bool]] = [
+            [False] * self.associativity for _ in range(self.num_sets)
+        ]
+        self.mshrs = MSHRFile(self.config.mshrs)
+        stats = stats or StatGroup(name)
+        self.stats = stats
+        self._hits = stats.counter("hits")
+        self._misses = stats.counter("misses")
+        self._fills = stats.counter("fills")
+        self._evictions = stats.counter("evictions")
+        self._uncommitted_evictions = stats.counter(
+            "uncommitted_evictions",
+            "lines evicted before any using instruction committed")
+        self._flushes = stats.counter("flushes")
+        self._lines_flushed = stats.counter("lines_flushed")
+        self._commits = stats.counter("line_commits")
+        self._snoop_invalidations = stats.counter("snoop_invalidations")
+
+    # -- indexing -------------------------------------------------------------
+    def line_address(self, address: int) -> int:
+        return block_align(address, self.line_size)
+
+    def _set_index(self, address: int) -> int:
+        return (self.line_address(address) // self.line_size) % self.num_sets
+
+    def _iter_valid(self, set_index: int):
+        for way in range(self.associativity):
+            if self._valid_bits[set_index][way]:
+                yield way, self._sets[set_index][way]
+
+    # -- CPU-side lookup (virtually indexed) -------------------------------------
+    def lookup(self, virtual_address: int, now: int = 0,
+               process_id: Optional[int] = None) -> FilterLookupResult:
+        """Look the cache up by virtual address from the CPU side."""
+        virtual_line = self.line_address(virtual_address)
+        set_index = self._set_index(virtual_address)
+        for way, line in self._iter_valid(set_index):
+            if line.virtual_tag != virtual_line:
+                continue
+            if process_id is not None and line.owner_process not in (
+                    None, process_id):
+                continue
+            line.touch(now)
+            self._hits.increment()
+            return FilterLookupResult(hit=True,
+                                      latency=self.config.hit_latency,
+                                      line=line)
+        self._misses.increment()
+        return FilterLookupResult(hit=False, latency=self.config.hit_latency)
+
+    # -- memory-side lookup (physically indexed) -----------------------------------
+    def probe_physical(self, physical_address: int) -> Optional[CacheLine]:
+        """Find a line by physical address (coherence snoops, aliasing).
+
+        Lines are placed by their *virtual* set index (the cache is
+        virtually indexed from the CPU side).  With 4 KiB pages and a 2 KiB
+        cache the index bits are shared between the virtual and physical
+        address, so the physical set index normally matches; scanning every
+        set keeps snoops correct even for configurations (or synthetic page
+        mappings) where it does not.
+        """
+        physical_line = self.line_address(physical_address)
+        for set_index in range(self.num_sets):
+            for way, line in self._iter_valid(set_index):
+                if line.address == physical_line:
+                    return line
+        return None
+
+    def contains_physical(self, physical_address: int) -> bool:
+        return self.probe_physical(physical_address) is not None
+
+    def contains_virtual(self, virtual_address: int,
+                         process_id: Optional[int] = None) -> bool:
+        virtual_line = self.line_address(virtual_address)
+        set_index = self._set_index(virtual_address)
+        for way, line in self._iter_valid(set_index):
+            if line.virtual_tag == virtual_line and (
+                    process_id is None or line.owner_process in (
+                        None, process_id)):
+                return True
+        return False
+
+    # -- fills ------------------------------------------------------------------
+    def fill(self, virtual_address: int, physical_address: int, now: int, *,
+             process_id: Optional[int] = None, committed: bool = False,
+             se_upgrade: bool = False,
+             fill_level: str = "l2") -> CacheLine:
+        """Install a line brought in from the non-speculative hierarchy.
+
+        The line is always installed in the Shared state; ``se_upgrade``
+        records the SE pseudo-state.  Physical-address aliasing within the
+        process is prevented by evicting any existing line with the same
+        physical address first (section 4.4).
+        """
+        virtual_line = self.line_address(virtual_address)
+        physical_line = self.line_address(physical_address)
+        existing_physical = self.probe_physical(physical_address)
+        if existing_physical is not None and (
+                existing_physical.virtual_tag != virtual_line):
+            self._invalidate_line(existing_physical)
+        set_index = self._set_index(virtual_address)
+        # Re-use the line if it is already present (refill after downgrade).
+        for way, line in self._iter_valid(set_index):
+            if line.virtual_tag == virtual_line:
+                line.committed = line.committed or committed
+                line.se_upgrade_pending = line.se_upgrade_pending or se_upgrade
+                line.touch(now)
+                return line
+        way = self._choose_victim(set_index)
+        line = self._sets[set_index][way]
+        if self._valid_bits[set_index][way]:
+            self._evictions.increment()
+            if not line.committed:
+                self._uncommitted_evictions.increment()
+        line.address = physical_line
+        line.state = S
+        line.dirty = False
+        line.committed = committed
+        line.virtual_tag = virtual_line
+        line.owner_process = process_id
+        line.se_upgrade_pending = se_upgrade
+        line.fill_level = fill_level
+        line.insert_time = now
+        line.touch(now)
+        self._valid_bits[set_index][way] = True
+        self._fills.increment()
+        return line
+
+    def _choose_victim(self, set_index: int) -> int:
+        for way in range(self.associativity):
+            if not self._valid_bits[set_index][way]:
+                return way
+        # LRU among valid ways.
+        oldest_way = 0
+        oldest_time = self._sets[set_index][0].last_use
+        for way in range(self.associativity):
+            line = self._sets[set_index][way]
+            if line.last_use < oldest_time:
+                oldest_time = line.last_use
+                oldest_way = way
+        return oldest_way
+
+    # -- commit / invalidation -----------------------------------------------------
+    def mark_committed(self, virtual_address: int,
+                       now: int = 0) -> Optional[CacheLine]:
+        """Set the committed bit on the line holding ``virtual_address``.
+
+        Returns the line so the caller can write it through to the L1 (and
+        launch the SE upgrade if pending), or None if the line has already
+        been evicted, in which case the caller re-requests it from the
+        hierarchy (section 4.2).
+        """
+        virtual_line = self.line_address(virtual_address)
+        set_index = self._set_index(virtual_address)
+        for way, line in self._iter_valid(set_index):
+            if line.virtual_tag == virtual_line:
+                if not line.committed:
+                    line.committed = True
+                    self._commits.increment()
+                line.touch(now)
+                return line
+        return None
+
+    def _invalidate_line(self, line: CacheLine) -> None:
+        set_index = self._set_index(line.virtual_tag
+                                    if line.virtual_tag is not None
+                                    else line.address)
+        for way in range(self.associativity):
+            if self._sets[set_index][way] is line:
+                self._valid_bits[set_index][way] = False
+        line.invalidate()
+
+    def invalidate_physical(self, physical_address: int) -> bool:
+        """Invalidate by physical address (coherence broadcast target)."""
+        line = self.probe_physical(physical_address)
+        if line is None:
+            return False
+        self._snoop_invalidations.increment()
+        self._invalidate_line(line)
+        return True
+
+    def flush(self) -> int:
+        """Clear every valid bit in a single cycle (section 4.3).
+
+        The write-through-at-commit policy means nothing needs writing back:
+        committed data is already in the L1 and uncommitted data may simply
+        disappear.  Returns the number of lines dropped.
+        """
+        dropped = 0
+        for set_index in range(self.num_sets):
+            for way in range(self.associativity):
+                if self._valid_bits[set_index][way]:
+                    dropped += 1
+                    self._valid_bits[set_index][way] = False
+                    self._sets[set_index][way].invalidate()
+        self._flushes.increment()
+        self._lines_flushed.increment(dropped)
+        return dropped
+
+    # -- introspection -------------------------------------------------------------
+    def resident_lines(self) -> List[CacheLine]:
+        return [line for set_index in range(self.num_sets)
+                for _, line in self._iter_valid(set_index)]
+
+    def occupancy(self) -> int:
+        return len(self.resident_lines())
+
+    @property
+    def hits(self) -> int:
+        return self._hits.value
+
+    @property
+    def misses(self) -> int:
+        return self._misses.value
+
+    @property
+    def flushes(self) -> int:
+        return self._flushes.value
+
+    @property
+    def uncommitted_evictions(self) -> int:
+        return self._uncommitted_evictions.value

@@ -1,0 +1,380 @@
+"""The MuonTrap memory system (the paper's contribution, section 4).
+
+One :class:`MuonTrapMemorySystem` serves all the cores of a simulated
+machine.  Per core it owns a data filter cache, an instruction filter cache
+and a filter TLB; underneath sits the shared non-speculative hierarchy
+(private L1s, shared L2 with a stride prefetcher, MESI bus, DRAM).
+
+Execute-time behaviour
+    Speculative loads, stores-with-resolved-addresses and instruction
+    fetches hit in the filter cache in one cycle or fill it from the
+    hierarchy without touching any non-speculative cache.  Fills are always
+    Shared; the ``SE`` pseudo-state is recorded when Exclusive would have
+    been available.  Accesses that would disturb another core's private M/E
+    line are NACKed and retried once non-speculative (section 4.5).
+
+Commit-time behaviour
+    The committed bit is set and the line written through to the L1
+    (section 4.2); pending ``SE`` upgrades launch an asynchronous exclusive
+    upgrade; commit-time prefetch notifications are sent to the level the
+    line was filled from (section 4.6); committed stores obtain ownership,
+    broadcasting filter-cache invalidations when the line was not already
+    private (the Figure 7 event).
+
+Domain switches
+    Context switches, system calls and sandbox entries flush the filter
+    caches and the filter TLB by clearing their valid bits (section 4.3);
+    optionally the caches are also flushed on every misspeculation
+    (section 4.9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.caches.hierarchy import NonSpeculativeHierarchy
+from repro.common.params import ProtectionConfig, SystemConfig
+from repro.common.rng import DeterministicRng
+from repro.common.statistics import StatGroup
+from repro.core.domains import DomainTracker
+from repro.core.filter_cache import SpeculativeFilterCache
+from repro.cpu.interface import MemoryAccessResult, MemorySystem
+from repro.memory.page_table import PageTableManager
+from repro.tlb.page_walker import MMU
+
+
+@dataclass
+class _CoreState:
+    """Per-core MuonTrap structures."""
+
+    data_filter: SpeculativeFilterCache
+    inst_filter: SpeculativeFilterCache
+    data_mmu: MMU
+    inst_mmu: MMU
+    domains: DomainTracker
+
+
+class MuonTrapMemorySystem(MemorySystem):
+    """Filter caches + protected hierarchy implementing the full defence."""
+
+    name = "muontrap"
+
+    def __init__(self, config: SystemConfig,
+                 page_tables: Optional[PageTableManager] = None,
+                 stats: Optional[StatGroup] = None,
+                 rng: Optional[DeterministicRng] = None) -> None:
+        self.config = config
+        self.protection: ProtectionConfig = config.protection
+        stats = stats or StatGroup("muontrap")
+        self.stats = stats
+        rng = rng or DeterministicRng(0)
+        self.page_tables = (page_tables if page_tables is not None
+                            else PageTableManager(
+                                page_size=config.tlb.page_size))
+        self.hierarchy = NonSpeculativeHierarchy(
+            config, stats=stats.child("hierarchy"), rng=rng)
+        self._cores: Dict[int, _CoreState] = {}
+        for core_id in range(config.num_cores):
+            core_stats = stats.child(f"core{core_id}")
+            data_filter = SpeculativeFilterCache(
+                config.data_filter, stats=core_stats.child("data_filter"),
+                name="data_filter")
+            inst_filter = SpeculativeFilterCache(
+                config.inst_filter, stats=core_stats.child("inst_filter"),
+                name="inst_filter")
+            data_mmu = MMU(config.tlb,
+                           use_filter_tlb=self.protection.filter_tlb,
+                           stats=core_stats.child("dmmu"), name="dmmu")
+            inst_mmu = MMU(config.tlb,
+                           use_filter_tlb=self.protection.filter_tlb,
+                           stats=core_stats.child("immu"), name="immu")
+            domains = DomainTracker(core_id=core_id,
+                                    stats=core_stats.child("domains"))
+            state = _CoreState(data_filter=data_filter,
+                               inst_filter=inst_filter,
+                               data_mmu=data_mmu, inst_mmu=inst_mmu,
+                               domains=domains)
+            self._cores[core_id] = state
+            # Register the filter caches as targets of exclusive-upgrade
+            # invalidation broadcasts (section 4.5).
+            self.hierarchy.bus.register_filter_listener(
+                core_id, data_filter.invalidate_physical)
+            domains.on_switch(
+                lambda old, new, cid=core_id: self._flush_core(cid))
+        self._committed_loads = stats.counter("committed_loads")
+        self._committed_stores = stats.counter("committed_stores")
+        self._store_broadcasts = stats.counter("store_filter_broadcasts")
+        self._nack_retries = stats.counter("nack_retries")
+        self._misspeculation_flushes = stats.counter("misspeculation_flushes")
+
+    # -- helpers -----------------------------------------------------------------
+    def core_state(self, core_id: int) -> _CoreState:
+        return self._cores[core_id]
+
+    def data_filter(self, core_id: int) -> SpeculativeFilterCache:
+        return self._cores[core_id].data_filter
+
+    def inst_filter(self, core_id: int) -> SpeculativeFilterCache:
+        return self._cores[core_id].inst_filter
+
+    def domains(self, core_id: int) -> DomainTracker:
+        return self._cores[core_id].domains
+
+    def _translate(self, core: _CoreState, process_id: int,
+                   virtual_address: int, speculative: bool,
+                   instruction: bool) -> tuple:
+        space = self.page_tables.address_space(process_id)
+        mmu = core.inst_mmu if instruction else core.data_mmu
+        result = mmu.translate(space, virtual_address, speculative=speculative)
+        return result.physical_address, result.latency
+
+    def _flush_core(self, core_id: int) -> None:
+        """Clear all speculative state on a protection-domain switch."""
+        core = self._cores[core_id]
+        if self.protection.data_filter_cache and \
+                self.protection.clear_on_context_switch:
+            core.data_filter.flush()
+        if self.protection.instruction_filter_cache and \
+                self.protection.clear_on_context_switch:
+            core.inst_filter.flush()
+        if self.protection.filter_tlb:
+            core.data_mmu.context_switch()
+            core.inst_mmu.context_switch()
+
+    # -- execute-time data path -----------------------------------------------------
+    def _data_access(self, core_id: int, process_id: int,
+                     virtual_address: int, now: int, *, speculative: bool,
+                     pc: int, is_store_prefetch: bool) -> MemoryAccessResult:
+        core = self._cores[core_id]
+        physical, tlb_latency = self._translate(
+            core, process_id, virtual_address, speculative, instruction=False)
+        if physical is None:
+            return MemoryAccessResult(latency=tlb_latency + 1,
+                                      hit_level="fault")
+        if not self.protection.data_filter_cache:
+            # Ablation point "insecure L0 disabled entirely" is handled by the
+            # baselines; with the data filter disabled we fall back to the
+            # conventional L1 path.
+            outcome = self.hierarchy.access(
+                core_id, physical, now + tlb_latency, is_store=False,
+                speculative=speculative, pc=pc,
+                protect_coherence=self.protection.coherence_protection,
+                train_prefetcher=not self.protection.commit_time_prefetch)
+            return MemoryAccessResult(
+                latency=tlb_latency + outcome.latency,
+                hit_level=outcome.hit_level,
+                must_retry_nonspeculative=outcome.nacked)
+
+        filter_cache = core.data_filter
+        lookup = filter_cache.lookup(virtual_address, now,
+                                     process_id=process_id)
+        if lookup.hit:
+            return MemoryAccessResult(latency=tlb_latency + lookup.latency,
+                                      hit_level="l0")
+        # Filter miss: consult the L1 and below.  Serial lookup adds the
+        # filter-cache cycle in front of the L1; the parallel-access
+        # optimisation of section 6.5 overlaps the two.
+        probe_penalty = 0 if self.protection.parallel_l1_access else \
+            filter_cache.config.hit_latency
+        outcome = self.hierarchy.read_for_filter(
+            core_id, physical, now + tlb_latency + probe_penalty,
+            speculative=speculative,
+            protect_coherence=self.protection.coherence_protection,
+            pc=pc, instruction=False,
+            train_prefetcher_speculatively=not self.protection.commit_time_prefetch)
+        if outcome.nacked:
+            # Reduced coherency speculation: retry once non-speculative.
+            return MemoryAccessResult(
+                latency=tlb_latency + probe_penalty + outcome.latency,
+                hit_level="nack", must_retry_nonspeculative=True)
+        filter_cache.fill(virtual_address, physical,
+                          now + tlb_latency + probe_penalty + outcome.latency,
+                          process_id=process_id,
+                          committed=not speculative,
+                          se_upgrade=outcome.exclusive_available
+                          and not is_store_prefetch,
+                          fill_level=outcome.hit_level)
+        return MemoryAccessResult(
+            latency=tlb_latency + probe_penalty + outcome.latency,
+            hit_level=outcome.hit_level)
+
+    def load(self, core_id: int, process_id: int, virtual_address: int,
+             now: int, *, speculative: bool, pc: int = 0
+             ) -> MemoryAccessResult:
+        return self._data_access(core_id, process_id, virtual_address, now,
+                                 speculative=speculative, pc=pc,
+                                 is_store_prefetch=False)
+
+    def store_address_ready(self, core_id: int, process_id: int,
+                            virtual_address: int, now: int, *,
+                            speculative: bool, pc: int = 0
+                            ) -> MemoryAccessResult:
+        # A speculative store may prefetch the line into the filter cache in
+        # Shared state, but must not obtain exclusive ownership until commit
+        # (section 4.1 / 4.5).
+        return self._data_access(core_id, process_id, virtual_address, now,
+                                 speculative=speculative, pc=pc,
+                                 is_store_prefetch=True)
+
+    # -- execute-time instruction path -------------------------------------------------
+    def fetch(self, core_id: int, process_id: int, virtual_address: int,
+              now: int, *, speculative: bool, pc: int = 0
+              ) -> MemoryAccessResult:
+        core = self._cores[core_id]
+        physical, tlb_latency = self._translate(
+            core, process_id, virtual_address, speculative, instruction=True)
+        if physical is None:
+            return MemoryAccessResult(latency=tlb_latency + 1,
+                                      hit_level="fault")
+        if not self.protection.instruction_filter_cache:
+            outcome = self.hierarchy.access(
+                core_id, physical, now + tlb_latency, instruction=True,
+                speculative=speculative, pc=pc, train_prefetcher=False)
+            return MemoryAccessResult(latency=tlb_latency + outcome.latency,
+                                      hit_level=outcome.hit_level)
+        filter_cache = core.inst_filter
+        lookup = filter_cache.lookup(virtual_address, now,
+                                     process_id=process_id)
+        if lookup.hit:
+            return MemoryAccessResult(latency=tlb_latency + lookup.latency,
+                                      hit_level="l0i")
+        probe_penalty = filter_cache.config.hit_latency
+        outcome = self.hierarchy.read_for_filter(
+            core_id, physical, now + tlb_latency + probe_penalty,
+            speculative=speculative, protect_coherence=False,
+            pc=pc, instruction=True)
+        filter_cache.fill(virtual_address, physical,
+                          now + tlb_latency + probe_penalty + outcome.latency,
+                          process_id=process_id, committed=not speculative,
+                          se_upgrade=False, fill_level=outcome.hit_level)
+        return MemoryAccessResult(
+            latency=tlb_latency + probe_penalty + outcome.latency,
+            hit_level=outcome.hit_level)
+
+    # -- commit-time ------------------------------------------------------------------
+    def commit_load(self, core_id: int, process_id: int, virtual_address: int,
+                    now: int, *, pc: int = 0) -> int:
+        """Write-through-at-commit for a load (section 4.2); returns 0 cycles.
+
+        The write-through and any SE upgrade are asynchronous, so commit is
+        never stalled by the memory system under MuonTrap (section 4.5,
+        "Wider Implications").
+        """
+        self._committed_loads.increment()
+        core = self._cores[core_id]
+        space = self.page_tables.address_space(process_id)
+        physical = space.translate(virtual_address)
+        if physical is None:
+            return 0
+        core.data_mmu.commit_translation(space, virtual_address)
+        if not self.protection.data_filter_cache:
+            return 0
+        line = core.data_filter.mark_committed(virtual_address, now)
+        if line is not None:
+            fill_level = line.fill_level or "l2"
+            exclusive = line.se_upgrade_pending
+            line.se_upgrade_pending = False
+            self.hierarchy.commit_fill_l1(core_id, physical, now,
+                                          exclusive=exclusive
+                                          and self.protection.coherence_protection,
+                                          instruction=False)
+        else:
+            # The line was evicted from the filter cache before commit: a
+            # valid in-order execution would have cached it, so re-request it
+            # into the L1 asynchronously (sections 4.2 and 4.10).
+            fill_level = "l2"
+            self.hierarchy.commit_fill_l1(core_id, physical, now,
+                                          exclusive=False, instruction=False,
+                                          asynchronous_reload=True)
+        if self.protection.commit_time_prefetch and fill_level in (
+                "l2", "memory"):
+            self.hierarchy.notify_commit_prefetch(
+                self.hierarchy.line_address(physical), pc, "l2", now)
+        return 0
+
+    def commit_store(self, core_id: int, process_id: int, virtual_address: int,
+                     now: int, *, pc: int = 0) -> int:
+        """A committed store obtains ownership and writes through to the L1."""
+        self._committed_stores.increment()
+        core = self._cores[core_id]
+        space = self.page_tables.address_space(process_id)
+        physical = space.translate(virtual_address)
+        if physical is None:
+            return 0
+        core.data_mmu.commit_translation(space, virtual_address)
+        broadcast = self.protection.coherence_protection
+        result = self.hierarchy.commit_store(core_id, physical, now,
+                                             broadcast_to_filters=broadcast)
+        if result.triggered_filter_broadcast:
+            self._store_broadcasts.increment()
+        if self.protection.data_filter_cache:
+            line = core.data_filter.mark_committed(virtual_address, now)
+            if line is not None:
+                line.se_upgrade_pending = False
+        if self.protection.commit_time_prefetch and result.hit_level in (
+                "l2", "memory"):
+            self.hierarchy.notify_commit_prefetch(
+                self.hierarchy.line_address(physical), pc, "l2", now)
+        # Ownership acquisition happens in the store buffer; only charge the
+        # L1 portion against commit bandwidth.
+        return min(result.latency, self.config.l1d.hit_latency)
+
+    def commit_fetch(self, core_id: int, process_id: int,
+                     virtual_address: int, now: int, *, pc: int = 0) -> int:
+        core = self._cores[core_id]
+        space = self.page_tables.address_space(process_id)
+        physical = space.translate(virtual_address)
+        if physical is None:
+            return 0
+        core.inst_mmu.commit_translation(space, virtual_address)
+        if not self.protection.instruction_filter_cache:
+            return 0
+        line = core.inst_filter.mark_committed(virtual_address, now)
+        if line is not None:
+            # Read-only data: no upgrade transaction is needed (section 4.7).
+            self.hierarchy.commit_fill_l1(core_id, physical, now,
+                                          exclusive=False, instruction=True)
+        return 0
+
+    # -- control events ------------------------------------------------------------------
+    def squash(self, core_id: int, now: int) -> None:
+        """Misspeculation: optionally clear the filter caches (section 4.9)."""
+        if not self.protection.clear_on_misspeculate:
+            return
+        core = self._cores[core_id]
+        self._misspeculation_flushes.increment()
+        if self.protection.data_filter_cache:
+            core.data_filter.flush()
+        if self.protection.instruction_filter_cache:
+            core.inst_filter.flush()
+
+    def context_switch(self, core_id: int, now: int) -> None:
+        self._cores[core_id].domains.context_switch(
+            to_process=self._cores[core_id].domains.current.process_id + 1)
+
+    def switch_to_process(self, core_id: int, process_id: int,
+                          now: int = 0) -> None:
+        """Explicit context switch to a named process (attack framework)."""
+        self._cores[core_id].domains.context_switch(to_process=process_id)
+
+    def syscall(self, core_id: int, now: int = 0) -> None:
+        self._cores[core_id].domains.syscall()
+
+    def sandbox_entry(self, core_id: int, now: int) -> None:
+        self._cores[core_id].domains.sandbox_entry(sandbox_id=1)
+
+    # -- statistics ------------------------------------------------------------------------
+    @property
+    def committed_stores(self) -> int:
+        return self._committed_stores.value
+
+    @property
+    def store_filter_broadcasts(self) -> int:
+        return self._store_broadcasts.value
+
+    def filter_invalidate_rate(self) -> float:
+        """Figure 7: proportion of committed stores needing a broadcast."""
+        if not self._committed_stores.value:
+            return 0.0
+        return self._store_broadcasts.value / self._committed_stores.value

@@ -1,0 +1,38 @@
+"""The out-of-order core model and its supporting structures."""
+
+from repro.cpu.branch_predictor import (
+    BranchTargetBuffer,
+    ReturnAddressStack,
+    SaturatingCounter,
+    TournamentPredictor,
+)
+from repro.cpu.core import CoreResult, OutOfOrderCore
+from repro.cpu.instructions import (
+    EXECUTION_LATENCY,
+    MicroOp,
+    OpKind,
+    WrongPathAccess,
+    summarize_trace,
+)
+from repro.cpu.interface import MemoryAccessResult, MemorySystem
+from repro.cpu.rob import LoadQueue, ReorderBuffer, RetirementWindow, StoreQueue
+
+__all__ = [
+    "BranchTargetBuffer",
+    "CoreResult",
+    "EXECUTION_LATENCY",
+    "LoadQueue",
+    "MemoryAccessResult",
+    "MemorySystem",
+    "MicroOp",
+    "OpKind",
+    "OutOfOrderCore",
+    "ReorderBuffer",
+    "RetirementWindow",
+    "ReturnAddressStack",
+    "SaturatingCounter",
+    "StoreQueue",
+    "TournamentPredictor",
+    "WrongPathAccess",
+    "summarize_trace",
+]

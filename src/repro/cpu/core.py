@@ -1,0 +1,392 @@
+"""The out-of-order core timing model.
+
+The core consumes a trace of :class:`~repro.cpu.instructions.MicroOp` and
+computes, for each instruction, when it dispatches, issues, completes and
+commits, under the structural constraints of Table 1 (8-wide front end and
+commit, 192-entry ROB, 32-entry load and store queues) and the data-flow
+constraints implied by register dependencies and memory latency.  It is a
+constraint-propagation model rather than a cycle-stepped pipeline: each
+instruction is processed once, in program order, which keeps simulation
+O(1) per instruction while still reproducing the behaviour the paper's
+evaluation depends on:
+
+* speculative and *wrong-path* memory accesses reach the memory system
+  before the branch that caused them resolves, and are then squashed;
+* long-latency loads, NACK retries (MuonTrap's reduced coherency
+  speculation) and commit-time validation (InvisiSpec) create back-pressure
+  through the ROB/LSQ capacity constraints;
+* STT-style defences delay the issue of transmit instructions that depend
+  on a still-speculative load;
+* every committed load/store/fetch performs its commit-time action in the
+  memory system (write-through-at-commit, prefetch notification, exclusive
+  upgrade, ...).
+
+The same class serves single-core (SPEC CPU2006) and multi-core (Parsec)
+experiments; in the latter case :class:`repro.sim.simulator.Simulator`
+interleaves `step()` calls across cores so that the cores' clocks advance
+together and their traffic interacts in the shared L2 and coherence bus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.common.params import CoreConfig, ProtectionMode, SystemConfig
+from repro.common.statistics import StatGroup
+from repro.cpu.branch_predictor import TournamentPredictor
+from repro.cpu.instructions import MicroOp, OpKind
+from repro.cpu.interface import MemoryAccessResult, MemorySystem
+from repro.cpu.rob import LoadQueue, ReorderBuffer, StoreQueue
+
+
+@dataclass
+class CoreResult:
+    """Summary of one core's execution of one trace."""
+
+    core_id: int
+    committed_instructions: int
+    cycles: int
+    committed_loads: int = 0
+    committed_stores: int = 0
+    committed_branches: int = 0
+    mispredictions: int = 0
+    squashed_accesses: int = 0
+    nack_retries: int = 0
+
+    @property
+    def ipc(self) -> float:
+        return (self.committed_instructions / self.cycles
+                if self.cycles else 0.0)
+
+    @property
+    def misprediction_rate(self) -> float:
+        if not self.committed_branches:
+            return 0.0
+        return self.mispredictions / self.committed_branches
+
+
+@dataclass
+class _RegisterValue:
+    """When a register's value is available, and its taint for STT."""
+
+    ready_time: int = 0
+    #: Visibility point of the producing load (None when not a load result).
+    taint_visibility: Optional[int] = None
+
+
+class OutOfOrderCore:
+    """An 8-wide out-of-order core driven by a micro-op trace."""
+
+    def __init__(self, core_id: int, config: SystemConfig,
+                 memory_system: MemorySystem,
+                 process_id: int = 0,
+                 stats: Optional[StatGroup] = None) -> None:
+        self.core_id = core_id
+        self.config = config
+        self.core_config: CoreConfig = config.core
+        self.memory = memory_system
+        self.process_id = process_id
+        stats = stats or StatGroup(f"core{core_id}")
+        self.stats = stats
+        self.predictor = TournamentPredictor(
+            self.core_config.branch_predictor,
+            stats=stats.child("branch_predictor"))
+        self.rob = ReorderBuffer(self.core_config.rob_entries)
+        self.load_queue = LoadQueue(self.core_config.lq_entries)
+        self.store_queue = StoreQueue(self.core_config.sq_entries)
+        self._registers: Dict[int, _RegisterValue] = {}
+        self._committed = stats.counter("committed_instructions")
+        self._committed_loads = stats.counter("committed_loads")
+        self._committed_stores = stats.counter("committed_stores")
+        self._committed_branches = stats.counter("committed_branches")
+        self._mispredictions = stats.counter("mispredictions")
+        self._squashed_accesses = stats.counter("squashed_accesses")
+        self._nack_retries = stats.counter("nack_retries")
+        self._context_switches = stats.counter("context_switches")
+        # Timing cursors.
+        self._fetch_ready = 0           # when the front end can deliver next
+        self._dispatched_in_cycle: Tuple[int, int] = (-1, 0)
+        self._committed_in_cycle: Tuple[int, int] = (-1, 0)
+        self._last_commit_time = 0
+        self._last_branch_resolve = 0   # prefix max of branch resolve times
+        self._sequence = 0
+        self._pending_lq_hold = 0
+        self._line_size = config.l1i.line_size
+        self._current_fetch_line: Optional[int] = None
+        # Memory-system capability probes.
+        self._stt_mode = getattr(memory_system, "delays_dependent_transmitters",
+                                 False)
+        self._stt_future = getattr(memory_system, "future_variant", False)
+        self._invisispec = hasattr(memory_system, "validation_latency")
+
+    # -- bandwidth helpers ---------------------------------------------------------
+    def _bandwidth_limit(self, desired_time: int,
+                         tracker: Tuple[int, int],
+                         width: int) -> Tuple[int, Tuple[int, int]]:
+        """Allow at most ``width`` events per cycle; returns (time, tracker)."""
+        cycle, used = tracker
+        if desired_time > cycle:
+            return desired_time, (desired_time, 1)
+        if used < width:
+            return cycle, (cycle, used + 1)
+        return cycle + 1, (cycle + 1, 1)
+
+    # -- register file helpers --------------------------------------------------------
+    def _read_sources(self, op: MicroOp) -> Tuple[int, Optional[int]]:
+        """Return (ready_time, taint_visibility) over the op's source registers."""
+        ready = 0
+        taint: Optional[int] = None
+        for reg in op.src_regs:
+            value = self._registers.get(reg)
+            if value is None:
+                continue
+            ready = max(ready, value.ready_time)
+            if value.taint_visibility is not None:
+                taint = (value.taint_visibility if taint is None
+                         else max(taint, value.taint_visibility))
+        return ready, taint
+
+    def _write_destination(self, op: MicroOp, ready_time: int,
+                           taint_visibility: Optional[int]) -> None:
+        if op.dst_reg is None:
+            return
+        self._registers[op.dst_reg] = _RegisterValue(
+            ready_time=ready_time, taint_visibility=taint_visibility)
+
+    # -- front end ---------------------------------------------------------------------
+    def _fetch(self, op: MicroOp, earliest: int) -> int:
+        """Model the instruction-cache access for this op's fetch group."""
+        fetch_line = op.pc - (op.pc % self._line_size)
+        fetch_time = max(self._fetch_ready, earliest)
+        if fetch_line != self._current_fetch_line:
+            result = self.memory.fetch(self.core_id, self.process_id, op.pc,
+                                       fetch_time, speculative=True, pc=op.pc)
+            fetch_time += max(0, result.latency - 1)
+            self._current_fetch_line = fetch_line
+        self._fetch_ready = fetch_time
+        return fetch_time
+
+    # -- wrong-path execution --------------------------------------------------------------
+    def _execute_wrong_path(self, op: MicroOp, dispatch_time: int,
+                            resolve_time: int) -> None:
+        """Issue the squashed accesses a mispredicted branch would cause."""
+        if not op.wrong_path:
+            return
+        window = max(1, resolve_time - dispatch_time)
+        for access in op.wrong_path:
+            issue_at = dispatch_time + min(access.issue_offset, window)
+            if access.is_instruction:
+                self.memory.fetch(self.core_id, self.process_id,
+                                  access.address, issue_at,
+                                  speculative=True, pc=access.address)
+            elif access.is_store:
+                self.memory.store_address_ready(self.core_id, self.process_id,
+                                                access.address, issue_at,
+                                                speculative=True, pc=op.pc)
+            else:
+                self.memory.load(self.core_id, self.process_id, access.address,
+                                 issue_at, speculative=True, pc=op.pc)
+            self._squashed_accesses.increment()
+        # The fetch path also ran down the wrong path; the next correct-path
+        # fetch re-reads the instruction cache.
+        self._current_fetch_line = None
+        self.memory.squash(self.core_id, resolve_time)
+
+    # -- main per-instruction processing --------------------------------------------------------
+    def execute_op(self, op: MicroOp) -> int:
+        """Process one micro-op; returns its commit time."""
+        op.sequence = self._sequence
+        self._sequence += 1
+
+        # 1. Front end: fetch and dispatch, bounded by ROB/LSQ occupancy and
+        #    dispatch bandwidth.
+        fetch_time = self._fetch(op, self._fetch_ready)
+        dispatch_time = self.rob.earliest_dispatch_time(fetch_time)
+        if op.is_load:
+            dispatch_time = max(dispatch_time,
+                                self.load_queue.earliest_dispatch_time(
+                                    dispatch_time))
+        if op.is_store:
+            dispatch_time = max(dispatch_time,
+                                self.store_queue.earliest_dispatch_time(
+                                    dispatch_time))
+        dispatch_time, self._dispatched_in_cycle = self._bandwidth_limit(
+            dispatch_time, self._dispatched_in_cycle, self.core_config.width)
+
+        # 2. Issue: wait for source operands (plus STT taint delays).
+        source_ready, source_taint = self._read_sources(op)
+        issue_time = max(dispatch_time + 1, source_ready)
+        if (self._stt_mode and source_taint is not None
+                and op.kind.is_transmitter):
+            if issue_time < source_taint:
+                issue_time = source_taint
+                record = getattr(self.memory, "record_delayed_forward", None)
+                if record is not None:
+                    record()
+
+        # 3. Execute.
+        completion, taint_visibility = self._execute(op, issue_time,
+                                                     dispatch_time)
+        if self._stt_mode and not op.is_load and source_taint is not None:
+            # STT propagates taint transitively through non-load producers:
+            # the result of an ALU op on a tainted value is itself tainted
+            # until the original load's visibility point.
+            taint_visibility = (source_taint if taint_visibility is None
+                                else max(taint_visibility, source_taint))
+
+        # 4. Commit in order, at most ``width`` per cycle.
+        commit_time = max(completion, self._last_commit_time)
+        commit_time, self._committed_in_cycle = self._bandwidth_limit(
+            commit_time, self._committed_in_cycle, self.core_config.width)
+        commit_time += self._commit_actions(op, commit_time, issue_time)
+        self._last_commit_time = commit_time
+
+        # 5. Update structures.
+        self.rob.retire_older_than(dispatch_time)
+        self.rob.allocate(commit_time)
+        if op.is_load:
+            self.load_queue.retire_older_than(dispatch_time)
+            self.load_queue.allocate(max(commit_time, self._pending_lq_hold))
+            self._pending_lq_hold = 0
+        if op.is_store:
+            self.store_queue.retire_older_than(dispatch_time)
+            self.store_queue.allocate(commit_time)
+        self._write_destination(op, completion, taint_visibility)
+        self._committed.increment()
+        return commit_time
+
+    # -- execution of the different op kinds -------------------------------------------------------
+    def _execute(self, op: MicroOp, issue_time: int,
+                 dispatch_time: int) -> Tuple[int, Optional[int]]:
+        """Return (completion_time, taint_visibility_for_dst)."""
+        if op.is_load:
+            return self._execute_load(op, issue_time)
+        if op.is_store:
+            self.memory.store_address_ready(self.core_id, self.process_id,
+                                            op.address, issue_time,
+                                            speculative=True, pc=op.pc)
+            return issue_time + op.execution_latency, None
+        if op.is_branch:
+            return self._execute_branch(op, issue_time, dispatch_time), None
+        # Plain ALU / FP / system ops.
+        return issue_time + op.execution_latency, None
+
+    def _execute_load(self, op: MicroOp,
+                      issue_time: int) -> Tuple[int, Optional[int]]:
+        result = self.memory.load(self.core_id, self.process_id, op.address,
+                                  issue_time, speculative=True, pc=op.pc)
+        if result.must_retry_nonspeculative:
+            # MuonTrap NACKed the access (it would disturb another core's
+            # private line): retry once the load is the oldest outstanding
+            # instruction, i.e. not before every older instruction committed.
+            self._nack_retries.increment()
+            retry_time = max(issue_time, self._last_commit_time)
+            retry = self.memory.load(self.core_id, self.process_id, op.address,
+                                     retry_time, speculative=False, pc=op.pc)
+            completion = retry_time + retry.latency
+        else:
+            completion = issue_time + result.latency
+        # STT taint: the loaded value is unsafe to forward to transmitters
+        # until the load's visibility point.
+        visibility: Optional[int] = None
+        if self._stt_mode:
+            if self._stt_future:
+                visibility = max(completion, self._last_commit_time)
+            else:
+                visibility = max(completion, self._last_branch_resolve)
+        return completion, visibility
+
+    def _execute_branch(self, op: MicroOp, issue_time: int,
+                        dispatch_time: int) -> int:
+        resolve_time = issue_time + op.execution_latency
+        if op.force_mispredict is None:
+            self.predictor.predict(op.pc)
+            mispredicted = self.predictor.update(op.pc, op.taken, op.target)
+        else:
+            mispredicted = op.force_mispredict
+            self.predictor.update(op.pc, op.taken, op.target)
+        self._last_branch_resolve = max(self._last_branch_resolve,
+                                        resolve_time)
+        if mispredicted:
+            self._mispredictions.increment()
+            self._execute_wrong_path(op, dispatch_time, resolve_time)
+            # Redirect: the front end can only deliver correct-path
+            # instructions after the pipeline refills.
+            self._fetch_ready = max(
+                self._fetch_ready,
+                resolve_time + self.core_config.mispredict_penalty)
+        return resolve_time
+
+    # -- commit actions -------------------------------------------------------------------------------
+    def _commit_actions(self, op: MicroOp, commit_time: int,
+                        issue_time: int) -> int:
+        """Perform memory-system commit work; returns extra commit latency."""
+        extra = 0
+        if op.is_load:
+            self._committed_loads.increment()
+            if self._invisispec:
+                # InvisiSpec validation/exposure: the Spectre variant issues
+                # it once older branches have resolved, the Future variant
+                # only at commit; either way commit waits for it, and the
+                # load-queue entry is held until the re-access completes.
+                visibility = (commit_time if self._stt_future_like_invisispec()
+                              else max(self._last_branch_resolve, issue_time))
+                validation = self.memory.validation_latency(
+                    self.core_id, self.process_id, op.address, visibility,
+                    pc=op.pc)
+                validation_done = visibility + validation
+                extra += max(0, validation_done - commit_time)
+                if self._stt_future_like_invisispec():
+                    # The Future variant only starts its validation at the
+                    # retirement point, so the load-queue entry is pinned for
+                    # the whole re-access; the Spectre variant's validations
+                    # overlap with the time the load spends waiting to retire.
+                    self._pending_lq_hold = validation_done
+            extra += self.memory.commit_load(self.core_id, self.process_id,
+                                             op.address, commit_time + extra,
+                                             pc=op.pc)
+        elif op.is_store:
+            self._committed_stores.increment()
+            extra += self.memory.commit_store(self.core_id, self.process_id,
+                                              op.address, commit_time + extra,
+                                              pc=op.pc)
+        elif op.is_branch:
+            self._committed_branches.increment()
+        self.memory.commit_fetch(self.core_id, self.process_id, op.pc,
+                                 commit_time + extra, pc=op.pc)
+        if op.is_syscall or op.is_context_switch:
+            self._context_switches.increment()
+            self.memory.context_switch(self.core_id, commit_time + extra)
+            extra += self.core_config.mispredict_penalty
+        if op.is_sandbox_entry:
+            self.memory.sandbox_entry(self.core_id, commit_time + extra)
+        return extra
+
+    def _stt_future_like_invisispec(self) -> bool:
+        """True for InvisiSpec-Future: visibility only at commit."""
+        return self._invisispec and getattr(self.memory, "future_variant",
+                                            False)
+
+    # -- whole-trace execution -----------------------------------------------------------------------------
+    def run(self, trace: Iterable[MicroOp]) -> CoreResult:
+        """Execute a complete trace and return the timing summary."""
+        for op in trace:
+            self.execute_op(op)
+        return self.result()
+
+    def result(self) -> CoreResult:
+        return CoreResult(
+            core_id=self.core_id,
+            committed_instructions=self._committed.value,
+            cycles=self._last_commit_time,
+            committed_loads=self._committed_loads.value,
+            committed_stores=self._committed_stores.value,
+            committed_branches=self._committed_branches.value,
+            mispredictions=self._mispredictions.value,
+            squashed_accesses=self._squashed_accesses.value,
+            nack_retries=self._nack_retries.value)
+
+    @property
+    def current_cycle(self) -> int:
+        return self._last_commit_time

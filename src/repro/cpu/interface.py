@@ -1,0 +1,88 @@
+"""The interface between the out-of-order core and a memory system.
+
+Every protection mode (unprotected, insecure-L0, MuonTrap, InvisiSpec, STT)
+provides a :class:`MemorySystem`.  The core calls it for speculative loads,
+stores and instruction fetches as they execute, again at commit, and on
+squashes and protection-domain switches.  The returned
+:class:`MemoryAccessResult` carries both the latency (the core's scheduling
+input) and the metadata the experiments and attacks inspect.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+
+@dataclass
+class MemoryAccessResult:
+    """Result of one memory-system request issued by the core."""
+
+    latency: int
+    hit_level: str = "l1"
+    #: The request could not be performed speculatively (MuonTrap's reduced
+    #: coherency speculation NACK); the core must retry it once the
+    #: instruction is no longer speculative.
+    must_retry_nonspeculative: bool = False
+    #: Extra cycles that must elapse at commit before the instruction can
+    #: retire (InvisiSpec validation, committed-store ownership, ...).
+    commit_latency: int = 0
+
+    @property
+    def served(self) -> bool:
+        return not self.must_retry_nonspeculative
+
+
+class MemorySystem(abc.ABC):
+    """Abstract memory system driven by :class:`repro.cpu.core.OutOfOrderCore`."""
+
+    #: Human-readable mode name, used in experiment reports.
+    name: str = "memory-system"
+
+    # -- execute-time (possibly speculative, possibly wrong-path) -------------
+    @abc.abstractmethod
+    def load(self, core_id: int, process_id: int, virtual_address: int,
+             now: int, *, speculative: bool, pc: int = 0) -> MemoryAccessResult:
+        """A load issues from the load queue."""
+
+    @abc.abstractmethod
+    def store_address_ready(self, core_id: int, process_id: int,
+                            virtual_address: int, now: int, *,
+                            speculative: bool, pc: int = 0
+                            ) -> MemoryAccessResult:
+        """A store's address is resolved (it may prefetch, but not write)."""
+
+    @abc.abstractmethod
+    def fetch(self, core_id: int, process_id: int, virtual_address: int,
+              now: int, *, speculative: bool, pc: int = 0
+              ) -> MemoryAccessResult:
+        """An instruction-cache access on the (possibly wrong) fetch path."""
+
+    # -- commit-time ------------------------------------------------------------
+    @abc.abstractmethod
+    def commit_load(self, core_id: int, process_id: int, virtual_address: int,
+                    now: int, *, pc: int = 0) -> int:
+        """The load reaches in-order commit; returns extra commit latency."""
+
+    @abc.abstractmethod
+    def commit_store(self, core_id: int, process_id: int, virtual_address: int,
+                     now: int, *, pc: int = 0) -> int:
+        """The store commits and performs its write; returns commit latency."""
+
+    def commit_fetch(self, core_id: int, process_id: int,
+                     virtual_address: int, now: int, *, pc: int = 0) -> int:
+        """The instruction at ``virtual_address`` commits (default: no cost)."""
+        return 0
+
+    # -- control events ----------------------------------------------------------
+    def squash(self, core_id: int, now: int) -> None:
+        """The core squashed mis-speculated instructions."""
+
+    def context_switch(self, core_id: int, now: int) -> None:
+        """The OS switches protection domain on this core."""
+
+    def sandbox_entry(self, core_id: int, now: int) -> None:
+        """Execution crosses into a sandboxed region within the process."""
+
+    def drain(self, core_id: int, now: int) -> None:
+        """Called at the end of simulation so buffers can flush statistics."""

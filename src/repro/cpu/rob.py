@@ -1,0 +1,92 @@
+"""The reorder buffer occupancy model.
+
+The constraint-based core model does not simulate every pipeline stage
+cycle-by-cycle; instead each bounded structure (ROB, load queue, store
+queue) answers one question: *given that entries retire at the commit times
+already computed for older instructions, when is a slot free for a new
+instruction dispatched at time t?*  This keeps the model O(1) per
+instruction while still enforcing the capacity limits of Table 1, which are
+what make long-latency memory operations (and the commit delays InvisiSpec
+introduces) back-pressure the front end.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+
+class RetirementWindow:
+    """A capacity-bounded window of in-flight instructions.
+
+    Used for the ROB and (via subclasses) the load and store queues.  The
+    window records the commit time of each in-flight entry in program
+    order; a new entry dispatched while the window is full must wait until
+    the oldest entry has committed.
+    """
+
+    def __init__(self, capacity: int, name: str = "rob") -> None:
+        if capacity <= 0:
+            raise ValueError(f"{name} capacity must be positive")
+        self.capacity = capacity
+        self.name = name
+        self._commit_times: Deque[int] = deque()
+        self.full_stalls = 0
+
+    def earliest_dispatch_time(self, now: int) -> int:
+        """When a new entry may be allocated, given a desired time ``now``."""
+        if len(self._commit_times) < self.capacity:
+            return now
+        oldest_commit = self._commit_times[0]
+        if oldest_commit > now:
+            self.full_stalls += 1
+            return oldest_commit
+        return now
+
+    def allocate(self, commit_time: int) -> None:
+        """Record a newly dispatched entry that will commit at ``commit_time``.
+
+        Entries are held in program order, so older entries whose commit
+        time precedes the new entry's dispatch have already retired and can
+        be dropped from the front.
+        """
+        while (self._commit_times
+               and len(self._commit_times) >= self.capacity):
+            self._commit_times.popleft()
+        self._commit_times.append(commit_time)
+
+    def retire_older_than(self, time: int) -> int:
+        """Drop entries that have committed by ``time``; returns the count."""
+        retired = 0
+        while self._commit_times and self._commit_times[0] <= time:
+            self._commit_times.popleft()
+            retired += 1
+        return retired
+
+    def occupancy(self) -> int:
+        return len(self._commit_times)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._commit_times) >= self.capacity
+
+
+class ReorderBuffer(RetirementWindow):
+    """The 192-entry ROB."""
+
+    def __init__(self, capacity: int = 192) -> None:
+        super().__init__(capacity, name="rob")
+
+
+class LoadQueue(RetirementWindow):
+    """The 32-entry load queue."""
+
+    def __init__(self, capacity: int = 32) -> None:
+        super().__init__(capacity, name="lq")
+
+
+class StoreQueue(RetirementWindow):
+    """The 32-entry store queue."""
+
+    def __init__(self, capacity: int = 32) -> None:
+        super().__init__(capacity, name="sq")

@@ -1,0 +1,234 @@
+"""Reproduction of every performance figure in the paper's evaluation.
+
+Each ``figure*`` function runs the simulations behind the corresponding
+exhibit and returns a :class:`FigureResult`: the per-benchmark series the
+figure plots plus the headline aggregate the text quotes.  The number of
+instructions per workload (and therefore the runtime) is controlled by the
+``REPRO_INSTRUCTIONS`` environment variable through
+:class:`~repro.sim.runner.ExperimentRunner`.
+
+The functions are deliberately small wrappers over the experiment runner so
+they can be called both from the pytest-benchmark harness (one benchmark per
+figure) and from the examples / EXPERIMENTS.md generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.common.params import ProtectionMode, SystemConfig
+from repro.common.statistics import geometric_mean
+from repro.core.muontrap import MuonTrapMemorySystem
+from repro.sim.runner import (
+    ExperimentRunner,
+    cumulative_protection_configs,
+    standard_modes,
+    unprotected_config,
+)
+from repro.sim.simulator import Simulator
+from repro.sim.sweeps import (
+    DEFAULT_ASSOCIATIVITY_SWEEP,
+    DEFAULT_SIZE_SWEEP,
+    filter_cache_associativity_configs,
+    filter_cache_size_configs,
+)
+from repro.sim.system import build_system
+from repro.workloads.generator import generate_workload
+from repro.workloads.profiles import (
+    get_profile,
+    parsec_benchmarks,
+    spec_benchmarks,
+)
+
+
+@dataclass
+class FigureResult:
+    """One reproduced exhibit: per-benchmark series plus aggregates."""
+
+    figure: str
+    description: str
+    benchmarks: List[str]
+    #: series label -> {benchmark -> normalised execution time (or rate)}
+    series: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: series label -> geometric mean across benchmarks
+    geomeans: Dict[str, float] = field(default_factory=dict)
+
+    def compute_geomeans(self) -> None:
+        self.geomeans = {
+            label: geometric_mean([value for value in values.values()
+                                   if value > 0])
+            for label, values in self.series.items()
+        }
+
+    def rows(self) -> List[List[str]]:
+        """A printable table: one row per benchmark plus the geomean."""
+        labels = list(self.series)
+        header = ["benchmark"] + labels
+        body = [[bench] + [f"{self.series[label].get(bench, 0.0):.3f}"
+                           for label in labels]
+                for bench in self.benchmarks]
+        footer = ["geomean"] + [f"{self.geomeans.get(label, 0.0):.3f}"
+                                for label in labels]
+        return [header] + body + [footer]
+
+    def format_table(self) -> str:
+        return "\n".join("  ".join(f"{cell:>18s}" for cell in row)
+                         for row in self.rows())
+
+
+def _run_mode_comparison(runner: ExperimentRunner, benchmarks: Sequence[str],
+                         num_cores: int, figure: str,
+                         description: str) -> FigureResult:
+    configs = standard_modes(num_cores=num_cores)
+    baseline = unprotected_config(num_cores=num_cores)
+    series = runner.normalised_series(benchmarks, configs, baseline)
+    result = FigureResult(figure=figure, description=description,
+                          benchmarks=list(benchmarks),
+                          series={label: dict(s.values)
+                                  for label, s in series.items()})
+    result.compute_geomeans()
+    return result
+
+
+def figure3(runner: Optional[ExperimentRunner] = None,
+            benchmarks: Optional[Sequence[str]] = None) -> FigureResult:
+    """Figure 3: SPEC CPU2006 normalised execution time for all five schemes."""
+    runner = runner or ExperimentRunner()
+    benchmarks = list(benchmarks or spec_benchmarks())
+    return _run_mode_comparison(
+        runner, benchmarks, num_cores=1, figure="figure3",
+        description="Normalised execution time, SPEC CPU2006: MuonTrap vs "
+                    "InvisiSpec and STT (lower is better)")
+
+
+def figure4(runner: Optional[ExperimentRunner] = None,
+            benchmarks: Optional[Sequence[str]] = None) -> FigureResult:
+    """Figure 4: Parsec (4 threads) normalised execution time."""
+    runner = runner or ExperimentRunner()
+    benchmarks = list(benchmarks or parsec_benchmarks())
+    return _run_mode_comparison(
+        runner, benchmarks, num_cores=4, figure="figure4",
+        description="Normalised execution time, Parsec with 4 threads: "
+                    "MuonTrap vs InvisiSpec and STT (lower is better)")
+
+
+def figure5(runner: Optional[ExperimentRunner] = None,
+            sizes: Optional[Sequence[int]] = None,
+            benchmarks: Optional[Sequence[str]] = None) -> FigureResult:
+    """Figure 5: fully associative filter-cache size sweep on Parsec."""
+    runner = runner or ExperimentRunner()
+    sizes = list(sizes or DEFAULT_SIZE_SWEEP)
+    benchmarks = list(benchmarks or parsec_benchmarks())
+    configs = {f"{size}B": config for size, config in
+               filter_cache_size_configs(sizes, num_cores=4).items()}
+    baseline = unprotected_config(num_cores=4)
+    series = runner.normalised_series(benchmarks, configs, baseline)
+    result = FigureResult(
+        figure="figure5",
+        description="Normalised execution time with a fully associative "
+                    "data filter cache of varying size, Parsec",
+        benchmarks=benchmarks,
+        series={label: dict(s.values) for label, s in series.items()})
+    result.compute_geomeans()
+    return result
+
+
+def figure6(runner: Optional[ExperimentRunner] = None,
+            associativities: Optional[Sequence[int]] = None,
+            benchmarks: Optional[Sequence[str]] = None) -> FigureResult:
+    """Figure 6: associativity sweep of the 2 KiB filter cache on Parsec."""
+    runner = runner or ExperimentRunner()
+    associativities = list(associativities or DEFAULT_ASSOCIATIVITY_SWEEP)
+    benchmarks = list(benchmarks or parsec_benchmarks())
+    configs = {f"{ways}-way": config for ways, config in
+               filter_cache_associativity_configs(
+                   associativities, num_cores=4).items()}
+    baseline = unprotected_config(num_cores=4)
+    series = runner.normalised_series(benchmarks, configs, baseline)
+    result = FigureResult(
+        figure="figure6",
+        description="Normalised execution time when varying the "
+                    "associativity of a 2 KiB filter cache, Parsec",
+        benchmarks=benchmarks,
+        series={label: dict(s.values) for label, s in series.items()})
+    result.compute_geomeans()
+    return result
+
+
+def figure7(runner: Optional[ExperimentRunner] = None,
+            benchmarks: Optional[Sequence[str]] = None) -> FigureResult:
+    """Figure 7: proportion of writes triggering filter-cache invalidates."""
+    runner = runner or ExperimentRunner()
+    benchmarks = list(benchmarks or spec_benchmarks())
+    rates: Dict[str, float] = {}
+    for benchmark in benchmarks:
+        profile = get_profile(benchmark)
+        workload = generate_workload(profile, runner.instructions,
+                                     seed=runner.seed)
+        system = build_system(SystemConfig(mode=ProtectionMode.MUONTRAP,
+                                           num_cores=1), seed=runner.seed)
+        simulator = Simulator(system)
+        simulator.run(workload, warmup_fraction=0.0)
+        memory = system.memory_system
+        assert isinstance(memory, MuonTrapMemorySystem)
+        rates[benchmark] = memory.filter_invalidate_rate()
+    result = FigureResult(
+        figure="figure7",
+        description="Proportion of committed stores that trigger a "
+                    "filter-cache invalidation broadcast under MuonTrap, "
+                    "SPEC CPU2006",
+        benchmarks=benchmarks,
+        series={"write fcache-invalidate rate": rates})
+    mean = sum(rates.values()) / len(rates) if rates else 0.0
+    result.geomeans = {"write fcache-invalidate rate": mean}
+    return result
+
+
+def figure8(runner: Optional[ExperimentRunner] = None,
+            benchmarks: Optional[Sequence[str]] = None) -> FigureResult:
+    """Figure 8: cumulative protection mechanisms on Parsec."""
+    runner = runner or ExperimentRunner()
+    benchmarks = list(benchmarks or parsec_benchmarks())
+    configs = cumulative_protection_configs(num_cores=4,
+                                            include_parallel_l1=False)
+    baseline = unprotected_config(num_cores=4)
+    series = runner.normalised_series(benchmarks, configs, baseline)
+    result = FigureResult(
+        figure="figure8",
+        description="Normalised execution time from cumulatively adding "
+                    "protection mechanisms, Parsec",
+        benchmarks=benchmarks,
+        series={label: dict(s.values) for label, s in series.items()})
+    result.compute_geomeans()
+    return result
+
+
+def figure9(runner: Optional[ExperimentRunner] = None,
+            benchmarks: Optional[Sequence[str]] = None) -> FigureResult:
+    """Figure 9: cumulative protection mechanisms on SPEC CPU2006."""
+    runner = runner or ExperimentRunner()
+    benchmarks = list(benchmarks or spec_benchmarks())
+    configs = cumulative_protection_configs(num_cores=1,
+                                            include_parallel_l1=True)
+    baseline = unprotected_config(num_cores=1)
+    series = runner.normalised_series(benchmarks, configs, baseline)
+    result = FigureResult(
+        figure="figure9",
+        description="Normalised execution time from cumulatively adding "
+                    "protection mechanisms, SPEC CPU2006",
+        benchmarks=benchmarks,
+        series={label: dict(s.values) for label, s in series.items()})
+    result.compute_geomeans()
+    return result
+
+
+ALL_FIGURES = {
+    "figure3": figure3,
+    "figure4": figure4,
+    "figure5": figure5,
+    "figure6": figure6,
+    "figure7": figure7,
+    "figure8": figure8,
+    "figure9": figure9,
+}

@@ -1,0 +1,123 @@
+"""Per-process page tables and virtual-to-physical translation.
+
+Each simulated process owns an :class:`AddressSpace`.  Translation is
+allocate-on-touch: the first access to a virtual page allocates a physical
+frame from a global frame allocator.  Pages may also be explicitly mapped as
+*shared* between two address spaces, which is what the cross-process attacks
+in the paper rely on (shared libraries or page-deduplicated data between
+attacker and victim).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.common.addresses import page_number, page_offset
+
+
+class PhysicalFrameAllocator:
+    """Hands out unique physical frame numbers across all processes."""
+
+    def __init__(self, page_size: int = 4096) -> None:
+        if page_size <= 0:
+            raise ValueError("page size must be positive")
+        self.page_size = page_size
+        self._next_frame = 1  # frame 0 reserved so "0" is never a valid PA
+
+    def allocate(self) -> int:
+        frame = self._next_frame
+        self._next_frame += 1
+        return frame
+
+    @property
+    def allocated_frames(self) -> int:
+        return self._next_frame - 1
+
+
+@dataclass
+class PageTableEntry:
+    """A single translation, with the permission bits the walker checks."""
+
+    frame: int
+    readable: bool = True
+    writable: bool = True
+    executable: bool = True
+    user_accessible: bool = True
+
+
+@dataclass
+class AddressSpace:
+    """The virtual address space of one simulated process."""
+
+    process_id: int
+    allocator: PhysicalFrameAllocator
+    page_size: int = 4096
+    entries: Dict[int, PageTableEntry] = field(default_factory=dict)
+
+    def translate(self, virtual_address: int,
+                  allocate: bool = True) -> Optional[int]:
+        """Translate ``virtual_address``; allocate a frame on first touch."""
+        vpn = page_number(virtual_address, self.page_size)
+        entry = self.entries.get(vpn)
+        if entry is None:
+            if not allocate:
+                return None
+            entry = PageTableEntry(frame=self.allocator.allocate())
+            self.entries[vpn] = entry
+        return entry.frame * self.page_size + page_offset(
+            virtual_address, self.page_size)
+
+    def entry_for(self, virtual_address: int) -> Optional[PageTableEntry]:
+        return self.entries.get(page_number(virtual_address, self.page_size))
+
+    def map_page(self, virtual_address: int, frame: int,
+                 writable: bool = True,
+                 user_accessible: bool = True) -> PageTableEntry:
+        """Install an explicit mapping (used to create shared pages)."""
+        vpn = page_number(virtual_address, self.page_size)
+        entry = PageTableEntry(frame=frame, writable=writable,
+                               user_accessible=user_accessible)
+        self.entries[vpn] = entry
+        return entry
+
+    def share_page_with(self, other: "AddressSpace", my_virtual: int,
+                        their_virtual: Optional[int] = None,
+                        writable: bool = True) -> int:
+        """Map one of my pages into ``other`` at ``their_virtual``.
+
+        Returns the shared physical frame number.  This models shared
+        libraries / shared memory, the prerequisite of Attacks 1 and 3.
+        """
+        physical = self.translate(my_virtual)
+        assert physical is not None
+        frame = page_number(physical, self.page_size)
+        target_virtual = my_virtual if their_virtual is None else their_virtual
+        other.map_page(target_virtual, frame, writable=writable)
+        return frame
+
+    @property
+    def mapped_pages(self) -> int:
+        return len(self.entries)
+
+
+class PageTableManager:
+    """Creates address spaces and keeps them sharing one frame allocator."""
+
+    def __init__(self, page_size: int = 4096) -> None:
+        self.page_size = page_size
+        self.allocator = PhysicalFrameAllocator(page_size)
+        self._spaces: Dict[int, AddressSpace] = {}
+
+    def address_space(self, process_id: int) -> AddressSpace:
+        if process_id not in self._spaces:
+            self._spaces[process_id] = AddressSpace(
+                process_id=process_id, allocator=self.allocator,
+                page_size=self.page_size)
+        return self._spaces[process_id]
+
+    def __contains__(self, process_id: int) -> bool:
+        return process_id in self._spaces
+
+    def __len__(self) -> int:
+        return len(self._spaces)

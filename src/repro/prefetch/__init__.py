@@ -1,0 +1,23 @@
+"""Prefetchers and the MuonTrap commit-time prefetch channel."""
+
+from repro.prefetch.base import NullPrefetcher, Prefetcher, TrainingEvent
+from repro.prefetch.commit_channel import (
+    CommitPrefetchChannel,
+    PrefetchNotification,
+)
+from repro.prefetch.next_line import NextLinePrefetcher
+from repro.prefetch.stream import StreamEntry, StreamPrefetcher
+from repro.prefetch.stride import StrideEntry, StridePrefetcher
+
+__all__ = [
+    "CommitPrefetchChannel",
+    "NextLinePrefetcher",
+    "NullPrefetcher",
+    "PrefetchNotification",
+    "Prefetcher",
+    "StreamEntry",
+    "StreamPrefetcher",
+    "StrideEntry",
+    "StridePrefetcher",
+    "TrainingEvent",
+]

@@ -1,0 +1,32 @@
+"""A simple next-N-line prefetcher.
+
+Used in tests and in the instruction-side experiments as a cheaper
+alternative to the stride prefetcher.  On every training event it proposes
+the next ``degree`` sequential lines.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.common.addresses import block_align
+from repro.common.statistics import StatGroup
+from repro.prefetch.base import Prefetcher, TrainingEvent
+
+
+class NextLinePrefetcher(Prefetcher):
+    """Prefetch the next ``degree`` sequential cache lines."""
+
+    def __init__(self, line_size: int = 64, degree: int = 1,
+                 only_on_miss: bool = True,
+                 stats: Optional[StatGroup] = None) -> None:
+        super().__init__(line_size=line_size, stats=stats)
+        self.degree = degree
+        self.only_on_miss = only_on_miss
+
+    def _propose(self, event: TrainingEvent) -> List[int]:
+        if self.only_on_miss and not event.was_miss:
+            return []
+        base = block_align(event.address, self.line_size)
+        return [base + self.line_size * ahead
+                for ahead in range(1, self.degree + 1)]

@@ -1,0 +1,38 @@
+"""Simulation driver: system construction, execution and experiment running."""
+
+from repro.sim.runner import (
+    BenchmarkRun,
+    ExperimentRunner,
+    NormalisedSeries,
+    cumulative_protection_configs,
+    instructions_per_workload,
+    standard_modes,
+    unprotected_config,
+)
+from repro.sim.simulator import SimulationResult, Simulator
+from repro.sim.sweeps import (
+    DEFAULT_ASSOCIATIVITY_SWEEP,
+    DEFAULT_SIZE_SWEEP,
+    filter_cache_associativity_configs,
+    filter_cache_size_configs,
+)
+from repro.sim.system import SimulatedSystem, build_memory_system, build_system
+
+__all__ = [
+    "BenchmarkRun",
+    "DEFAULT_ASSOCIATIVITY_SWEEP",
+    "DEFAULT_SIZE_SWEEP",
+    "ExperimentRunner",
+    "NormalisedSeries",
+    "SimulatedSystem",
+    "SimulationResult",
+    "Simulator",
+    "build_memory_system",
+    "build_system",
+    "cumulative_protection_configs",
+    "filter_cache_associativity_configs",
+    "filter_cache_size_configs",
+    "instructions_per_workload",
+    "standard_modes",
+    "unprotected_config",
+]

@@ -1,0 +1,197 @@
+"""The experiment runner.
+
+Runs a benchmark under several protection modes (or several configurations
+of one mode) and reports normalised execution times relative to the
+unprotected baseline — the metric every performance figure in the paper
+uses.  The runner is deterministic: the same seed produces identical traces
+for every mode, so the comparison isolates the memory-system differences.
+
+The number of instructions per workload is configurable; the
+``REPRO_INSTRUCTIONS`` environment variable overrides the default so the
+benchmark harness can be scaled to the available time budget.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.common.params import ProtectionConfig, ProtectionMode, SystemConfig
+from repro.common.statistics import geometric_mean
+from repro.sim.simulator import SimulationResult, Simulator
+from repro.sim.system import build_system
+from repro.workloads.generator import generate_workload
+from repro.workloads.profiles import WorkloadProfile, get_profile
+
+DEFAULT_INSTRUCTIONS = 8000
+DEFAULT_WARMUP_FRACTION = 0.35
+
+
+def instructions_per_workload(default: Optional[int] = None) -> int:
+    """Instruction sample length, overridable via ``REPRO_INSTRUCTIONS``."""
+    value = os.environ.get("REPRO_INSTRUCTIONS")
+    if value:
+        return max(500, int(value))
+    return default if default is not None else DEFAULT_INSTRUCTIONS
+
+
+@dataclass
+class BenchmarkRun:
+    """One benchmark executed under one system configuration."""
+
+    benchmark: str
+    mode_label: str
+    result: SimulationResult
+
+    @property
+    def cycles(self) -> int:
+        return self.result.cycles
+
+
+@dataclass
+class NormalisedSeries:
+    """Normalised execution times of one scheme over a set of benchmarks."""
+
+    label: str
+    values: Dict[str, float] = field(default_factory=dict)
+
+    def geomean(self) -> float:
+        return geometric_mean(list(self.values.values()))
+
+    def worst_case(self) -> float:
+        return max(self.values.values()) if self.values else 0.0
+
+    def best_case(self) -> float:
+        return min(self.values.values()) if self.values else 0.0
+
+
+class ExperimentRunner:
+    """Runs benchmark × configuration matrices and normalises the results."""
+
+    def __init__(self, instructions: Optional[int] = None,
+                 seed: int = 1234,
+                 warmup_fraction: float = DEFAULT_WARMUP_FRACTION) -> None:
+        self.instructions = instructions_per_workload(instructions)
+        self.seed = seed
+        self.warmup_fraction = warmup_fraction
+        self._cache: Dict[tuple, SimulationResult] = {}
+
+    # -- single runs -----------------------------------------------------------
+    def run_benchmark(self, benchmark: str, config: SystemConfig,
+                      label: Optional[str] = None,
+                      collect_stats: bool = False) -> BenchmarkRun:
+        """Run one benchmark on one configuration (cached per label)."""
+        profile = get_profile(benchmark)
+        return self.run_profile(profile, config, label=label,
+                                collect_stats=collect_stats)
+
+    def run_profile(self, profile: WorkloadProfile, config: SystemConfig,
+                    label: Optional[str] = None,
+                    collect_stats: bool = False) -> BenchmarkRun:
+        label = label or config.mode.value
+        cache_key = (profile.name, label, self.instructions, self.seed,
+                     collect_stats)
+        if cache_key not in self._cache:
+            workload = generate_workload(profile, self.instructions,
+                                         seed=self.seed)
+            cores_needed = max(1, profile.num_threads)
+            system_config = config.with_cores(max(config.num_cores,
+                                                  cores_needed))
+            system = build_system(system_config, seed=self.seed)
+            simulator = Simulator(system)
+            self._cache[cache_key] = simulator.run(
+                workload, collect_stats=collect_stats,
+                warmup_fraction=self.warmup_fraction)
+        return BenchmarkRun(benchmark=profile.name, mode_label=label,
+                            result=self._cache[cache_key])
+
+    # -- normalised comparisons ---------------------------------------------------
+    def normalised_series(self, benchmarks: Sequence[str],
+                          configs: Dict[str, SystemConfig],
+                          baseline_config: SystemConfig,
+                          baseline_label: str = "baseline"
+                          ) -> Dict[str, NormalisedSeries]:
+        """Run every benchmark under every configuration and normalise.
+
+        Returns one :class:`NormalisedSeries` per configuration label, with
+        values >1 meaning slower than the unprotected baseline (the paper's
+        convention: "normalised execution time, lower is better").
+        """
+        series = {label: NormalisedSeries(label=label) for label in configs}
+        for benchmark in benchmarks:
+            baseline = self.run_benchmark(benchmark, baseline_config,
+                                          label=baseline_label)
+            for label, config in configs.items():
+                run = self.run_benchmark(benchmark, config, label=label)
+                series[label].values[benchmark] = (
+                    run.result.cycles / baseline.result.cycles
+                    if baseline.result.cycles else 0.0)
+        return series
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+
+
+def standard_modes(num_cores: int = 1) -> Dict[str, SystemConfig]:
+    """The five schemes compared in Figures 3 and 4."""
+    base = SystemConfig(num_cores=num_cores)
+    return {
+        "MuonTrap": base.with_mode(ProtectionMode.MUONTRAP),
+        "InvisiSpec-Spectre": base.with_mode(
+            ProtectionMode.INVISISPEC_SPECTRE),
+        "InvisiSpec-Future": base.with_mode(ProtectionMode.INVISISPEC_FUTURE),
+        "STT-Spectre": base.with_mode(ProtectionMode.STT_SPECTRE),
+        "STT-Future": base.with_mode(ProtectionMode.STT_FUTURE),
+    }
+
+
+def unprotected_config(num_cores: int = 1) -> SystemConfig:
+    return SystemConfig(num_cores=num_cores,
+                        mode=ProtectionMode.UNPROTECTED)
+
+
+def cumulative_protection_configs(num_cores: int = 1,
+                                  include_parallel_l1: bool = False
+                                  ) -> Dict[str, SystemConfig]:
+    """The cumulative ablation series of Figures 8 and 9.
+
+    Each label enables the mechanisms of the previous one plus one more,
+    matching the legend of the figures: ``insecure L0`` -> ``fcache only``
+    -> ``coherency`` -> ``ifcache`` -> ``prefetching`` -> ``clear misspec``
+    (-> ``parallel L1d`` for Figure 9).
+    """
+    base = SystemConfig(num_cores=num_cores, mode=ProtectionMode.MUONTRAP)
+    none = ProtectionConfig.none()
+    configs: Dict[str, SystemConfig] = {
+        "insecure L0": SystemConfig(
+            num_cores=num_cores, mode=ProtectionMode.INSECURE_L0,
+            protection=none),
+        "fcache only": base.with_protection(ProtectionConfig(
+            data_filter_cache=True, instruction_filter_cache=False,
+            filter_tlb=False, coherence_protection=False,
+            commit_time_prefetch=False, clear_on_misspeculate=False)),
+        "coherency": base.with_protection(ProtectionConfig(
+            data_filter_cache=True, instruction_filter_cache=False,
+            filter_tlb=False, coherence_protection=True,
+            commit_time_prefetch=False, clear_on_misspeculate=False)),
+        "ifcache": base.with_protection(ProtectionConfig(
+            data_filter_cache=True, instruction_filter_cache=True,
+            filter_tlb=True, coherence_protection=True,
+            commit_time_prefetch=False, clear_on_misspeculate=False)),
+        "prefetching": base.with_protection(ProtectionConfig(
+            data_filter_cache=True, instruction_filter_cache=True,
+            filter_tlb=True, coherence_protection=True,
+            commit_time_prefetch=True, clear_on_misspeculate=False)),
+        "clear misspec": base.with_protection(ProtectionConfig(
+            data_filter_cache=True, instruction_filter_cache=True,
+            filter_tlb=True, coherence_protection=True,
+            commit_time_prefetch=True, clear_on_misspeculate=True)),
+    }
+    if include_parallel_l1:
+        configs["parallel L1d"] = base.with_protection(ProtectionConfig(
+            data_filter_cache=True, instruction_filter_cache=True,
+            filter_tlb=True, coherence_protection=True,
+            commit_time_prefetch=True, clear_on_misspeculate=False,
+            parallel_l1_access=True))
+    return configs

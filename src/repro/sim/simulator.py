@@ -1,0 +1,142 @@
+"""The simulation driver.
+
+Executes one workload (single- or multi-threaded) on a
+:class:`~repro.sim.system.SimulatedSystem` and reports the execution time.
+Multi-threaded workloads are interleaved across cores in small instruction
+chunks so that the per-core clocks advance roughly together and the threads'
+memory traffic interacts in the shared L2 and on the coherence bus, which is
+what the Parsec experiments (Figures 4, 5, 6 and 8) depend on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cpu.core import CoreResult
+from repro.sim.system import SimulatedSystem
+from repro.workloads.trace import Trace, WorkloadTraces
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of running one workload on one system."""
+
+    benchmark: str
+    mode: str
+    cycles: int
+    instructions: int
+    core_results: List[CoreResult] = field(default_factory=list)
+    stats: Dict[str, int] = field(default_factory=dict)
+    warmup_cycles: int = 0
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    def normalised_to(self, baseline: "SimulationResult") -> float:
+        """Execution time relative to a baseline run (the paper's metric)."""
+        if baseline.cycles == 0:
+            return 0.0
+        return self.cycles / baseline.cycles
+
+
+class Simulator:
+    """Runs traces on the cores of a simulated system."""
+
+    #: Instructions executed per core before rotating to the next core.
+    INTERLEAVE_CHUNK = 64
+
+    def __init__(self, system: SimulatedSystem) -> None:
+        self.system = system
+
+    def run(self, workload: WorkloadTraces, collect_stats: bool = False,
+            warmup_fraction: float = 0.0) -> SimulationResult:
+        """Execute every thread of the workload; returns the timing summary.
+
+        Threads are assigned to cores round-robin.  The workload's execution
+        time is the maximum cycle count over all cores (the paper runs
+        Parsec to completion and reports whole-program time).
+
+        ``warmup_fraction`` plays the role of the paper's one-billion-
+        instruction fast-forward: the first fraction of every trace is
+        executed through the full timing model to warm the caches, TLBs and
+        branch predictors, but its cycles are excluded from the reported
+        execution time.
+        """
+        traces = list(workload)
+        if not traces:
+            raise ValueError("workload has no traces")
+        if len(traces) > self.system.num_cores:
+            raise ValueError(
+                f"workload has {len(traces)} threads but the system has "
+                f"only {self.system.num_cores} cores")
+        if not 0.0 <= warmup_fraction < 1.0:
+            raise ValueError("warmup_fraction must be in [0, 1)")
+        warmup_cycles = 0
+        if warmup_fraction > 0.0:
+            warmup_traces = [
+                Trace(benchmark=trace.benchmark, thread_id=trace.thread_id,
+                      process_id=trace.process_id,
+                      ops=trace.ops[:int(len(trace.ops) * warmup_fraction)])
+                for trace in traces
+            ]
+            measured_traces = [
+                Trace(benchmark=trace.benchmark, thread_id=trace.thread_id,
+                      process_id=trace.process_id,
+                      ops=trace.ops[int(len(trace.ops) * warmup_fraction):])
+                for trace in traces
+            ]
+            self._run_interleaved(warmup_traces)
+            warmup_ends = [core.current_cycle for core in self.system.cores]
+            warmup_cycles = max(warmup_ends)
+            warmup_instructions = sum(len(t.ops) for t in warmup_traces)
+            self._run_interleaved(measured_traces)
+            core_results = [core.result() for core in self.system.cores]
+            cycles = max(
+                result.cycles - warmup_end
+                for result, warmup_end in zip(core_results, warmup_ends))
+            instructions = sum(result.committed_instructions
+                               for result in core_results) - warmup_instructions
+        else:
+            self._run_interleaved(traces)
+            core_results = [core.result() for core in self.system.cores]
+            cycles = max(result.cycles for result in core_results)
+            instructions = sum(result.committed_instructions
+                               for result in core_results)
+        stats = self.system.stats.as_dict() if collect_stats else {}
+        return SimulationResult(
+            benchmark=workload.benchmark,
+            mode=self.system.config.mode.value,
+            cycles=cycles,
+            instructions=instructions,
+            core_results=core_results,
+            stats=stats,
+            warmup_cycles=warmup_cycles)
+
+    def run_trace_on_core(self, trace: Trace, core_index: int) -> CoreResult:
+        """Run a single trace to completion on one core (test helper)."""
+        core = self.system.core(core_index)
+        core.process_id = trace.process_id
+        return core.run(trace)
+
+    # -- internals ------------------------------------------------------------
+    def _run_interleaved(self, traces: List[Trace]) -> None:
+        cursors = [0] * len(traces)
+        done = [False] * len(traces)
+        for thread_id, trace in enumerate(traces):
+            self.system.core(thread_id).process_id = trace.process_id
+        remaining = len(traces)
+        while remaining:
+            for thread_id, trace in enumerate(traces):
+                if done[thread_id]:
+                    continue
+                core = self.system.core(thread_id)
+                start = cursors[thread_id]
+                end = min(len(trace.ops), start + self.INTERLEAVE_CHUNK)
+                for op in trace.ops[start:end]:
+                    core.execute_op(op)
+                cursors[thread_id] = end
+                if end >= len(trace.ops):
+                    done[thread_id] = True
+                    remaining -= 1

@@ -1,0 +1,45 @@
+"""Parameter-sweep helpers for the tuning experiments (Figures 5 and 6)."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Sequence
+
+from repro.common.params import FilterCacheConfig, ProtectionMode, SystemConfig
+
+
+def filter_cache_size_configs(sizes_bytes: Sequence[int],
+                              num_cores: int = 4,
+                              fully_associative: bool = True
+                              ) -> Dict[int, SystemConfig]:
+    """Figure 5: MuonTrap systems with varying (fully associative) L0 sizes."""
+    configs: Dict[int, SystemConfig] = {}
+    for size in sizes_bytes:
+        lines = max(1, size // 64)
+        ways = lines if fully_associative else min(4, lines)
+        filter_config = FilterCacheConfig(size_bytes=size, associativity=ways)
+        configs[size] = SystemConfig(
+            num_cores=num_cores, mode=ProtectionMode.MUONTRAP,
+            data_filter=filter_config)
+    return configs
+
+
+def filter_cache_associativity_configs(associativities: Sequence[int],
+                                        size_bytes: int = 2048,
+                                        num_cores: int = 4
+                                        ) -> Dict[int, SystemConfig]:
+    """Figure 6: 2 KiB filter caches from direct mapped to fully associative."""
+    configs: Dict[int, SystemConfig] = {}
+    max_ways = size_bytes // 64
+    for ways in associativities:
+        ways = min(ways, max_ways)
+        filter_config = FilterCacheConfig(size_bytes=size_bytes,
+                                          associativity=ways)
+        configs[ways] = SystemConfig(
+            num_cores=num_cores, mode=ProtectionMode.MUONTRAP,
+            data_filter=filter_config)
+    return configs
+
+
+DEFAULT_SIZE_SWEEP: List[int] = [64, 128, 256, 512, 1024, 2048, 4096]
+DEFAULT_ASSOCIATIVITY_SWEEP: List[int] = [1, 2, 4, 8, 16, 32]

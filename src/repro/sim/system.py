@@ -1,0 +1,105 @@
+"""System construction.
+
+Builds a complete simulated machine — memory system plus one out-of-order
+core per hardware context — for any protection mode and configuration.  The
+protection mode determines which memory system is instantiated; the
+MuonTrap ablation points of Figures 8 and 9 are expressed through the
+:class:`~repro.common.params.ProtectionConfig` carried by the system
+configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.baselines.insecure_l0 import InsecureL0MemorySystem
+from repro.baselines.invisispec import InvisiSpecMemorySystem
+from repro.baselines.stt import STTMemorySystem
+from repro.baselines.unprotected import UnprotectedMemorySystem
+from repro.common.params import ProtectionMode, SystemConfig
+from repro.common.rng import DeterministicRng
+from repro.common.statistics import StatGroup
+from repro.core.muontrap import MuonTrapMemorySystem
+from repro.cpu.core import OutOfOrderCore
+from repro.cpu.interface import MemorySystem
+from repro.memory.page_table import PageTableManager
+
+
+def build_memory_system(config: SystemConfig,
+                        page_tables: Optional[PageTableManager] = None,
+                        stats: Optional[StatGroup] = None,
+                        rng: Optional[DeterministicRng] = None
+                        ) -> MemorySystem:
+    """Instantiate the memory system for the configured protection mode."""
+    mode = config.mode
+    if mode is ProtectionMode.MUONTRAP:
+        return MuonTrapMemorySystem(config, page_tables=page_tables,
+                                    stats=stats, rng=rng)
+    if mode is ProtectionMode.UNPROTECTED:
+        return UnprotectedMemorySystem(config, page_tables=page_tables,
+                                       stats=stats, rng=rng)
+    if mode is ProtectionMode.INSECURE_L0:
+        return InsecureL0MemorySystem(config, page_tables=page_tables,
+                                      stats=stats, rng=rng)
+    if mode is ProtectionMode.INVISISPEC_SPECTRE:
+        return InvisiSpecMemorySystem(config, future_variant=False,
+                                      page_tables=page_tables, stats=stats,
+                                      rng=rng)
+    if mode is ProtectionMode.INVISISPEC_FUTURE:
+        return InvisiSpecMemorySystem(config, future_variant=True,
+                                      page_tables=page_tables, stats=stats,
+                                      rng=rng)
+    if mode is ProtectionMode.STT_SPECTRE:
+        return STTMemorySystem(config, future_variant=False,
+                               page_tables=page_tables, stats=stats, rng=rng)
+    if mode is ProtectionMode.STT_FUTURE:
+        return STTMemorySystem(config, future_variant=True,
+                               page_tables=page_tables, stats=stats, rng=rng)
+    raise ValueError(f"unknown protection mode: {mode!r}")
+
+
+@dataclass
+class SimulatedSystem:
+    """A memory system plus its cores, ready to execute traces."""
+
+    config: SystemConfig
+    memory_system: MemorySystem
+    cores: List[OutOfOrderCore]
+    stats: StatGroup
+    page_tables: PageTableManager
+
+    def core(self, index: int) -> OutOfOrderCore:
+        return self.cores[index]
+
+    @property
+    def num_cores(self) -> int:
+        return len(self.cores)
+
+
+def build_system(config: SystemConfig, seed: int = 0,
+                 process_ids: Optional[List[int]] = None) -> SimulatedSystem:
+    """Build the memory system and one core per hardware context.
+
+    ``process_ids`` assigns a process (address space) to each core; by
+    default every core runs process 0, which matches a multi-threaded
+    workload sharing one address space (Parsec).
+    """
+    stats = StatGroup("system")
+    rng = DeterministicRng(seed)
+    page_tables = PageTableManager(page_size=config.tlb.page_size)
+    memory_system = build_memory_system(config, page_tables=page_tables,
+                                        stats=stats.child("memory_system"),
+                                        rng=rng)
+    if process_ids is None:
+        process_ids = [0] * config.num_cores
+    if len(process_ids) != config.num_cores:
+        raise ValueError("need one process id per core")
+    cores = [
+        OutOfOrderCore(core_id, config, memory_system,
+                       process_id=process_ids[core_id],
+                       stats=stats.child(f"core{core_id}"))
+        for core_id in range(config.num_cores)
+    ]
+    return SimulatedSystem(config=config, memory_system=memory_system,
+                           cores=cores, stats=stats, page_tables=page_tables)

@@ -1,0 +1,15 @@
+"""TLBs, the speculative filter TLB and the page-table walker."""
+
+from repro.tlb.filter_tlb import FilterTLB
+from repro.tlb.page_walker import MMU, PageTableWalker, TranslationResult
+from repro.tlb.tlb import TLB, TLBEntry, TLBTag
+
+__all__ = [
+    "FilterTLB",
+    "MMU",
+    "PageTableWalker",
+    "TLB",
+    "TLBEntry",
+    "TLBTag",
+    "TranslationResult",
+]

@@ -1,0 +1,140 @@
+"""The hardware page-table walker.
+
+On a TLB miss the walker resolves the translation from the per-process page
+table.  The walk costs a fixed latency (several dependent memory accesses in
+a real machine).  Under MuonTrap the walker's own cache fills go through the
+filter cache, and translations triggered by speculative instructions are
+installed only in the filter TLB; the committing instruction re-translates
+(section 4.7), which this module models with the ``speculative`` flag on
+:meth:`walk`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.common.params import TLBConfig
+from repro.common.statistics import StatGroup
+from repro.memory.page_table import AddressSpace
+from repro.tlb.filter_tlb import FilterTLB
+from repro.tlb.tlb import TLB
+
+
+@dataclass
+class TranslationResult:
+    """Outcome of a translation request."""
+
+    physical_address: Optional[int]
+    latency: int
+    tlb_hit: bool
+    filter_hit: bool = False
+    walked: bool = False
+    fault: bool = False
+
+
+class PageTableWalker:
+    """Resolves TLB misses against an :class:`AddressSpace`."""
+
+    def __init__(self, config: Optional[TLBConfig] = None,
+                 stats: Optional[StatGroup] = None) -> None:
+        self.config = config or TLBConfig()
+        stats = stats or StatGroup("walker")
+        self.stats = stats
+        self._walks = stats.counter("walks")
+        self._faults = stats.counter("faults")
+
+    def walk(self, address_space: AddressSpace,
+             virtual_address: int) -> Optional[int]:
+        """Resolve one translation; returns the physical address or None."""
+        self._walks.increment()
+        physical = address_space.translate(virtual_address, allocate=True)
+        if physical is None:
+            self._faults.increment()
+        return physical
+
+    @property
+    def walk_latency(self) -> int:
+        return self.config.walk_latency
+
+
+class MMU:
+    """Combines a TLB, an optional filter TLB and the page-table walker.
+
+    This is the per-core translation path used by the memory systems: the
+    data side and instruction side each instantiate one.
+    """
+
+    def __init__(self, config: Optional[TLBConfig] = None,
+                 use_filter_tlb: bool = True,
+                 stats: Optional[StatGroup] = None,
+                 name: str = "mmu") -> None:
+        self.config = config or TLBConfig()
+        stats = stats or StatGroup(name)
+        self.stats = stats
+        self.tlb = TLB(config=self.config, stats=stats.child("tlb"))
+        self.filter_tlb: Optional[FilterTLB] = None
+        if use_filter_tlb:
+            self.filter_tlb = FilterTLB(config=self.config, main_tlb=self.tlb,
+                                        stats=stats.child("filter_tlb"))
+        self.walker = PageTableWalker(config=self.config,
+                                      stats=stats.child("walker"))
+
+    def translate(self, address_space: AddressSpace, virtual_address: int,
+                  speculative: bool = False) -> TranslationResult:
+        """Translate a virtual address for a (possibly speculative) access.
+
+        Non-speculative accesses fill the main TLB on a miss; speculative
+        accesses fill only the filter TLB when one is present, leaving the
+        non-speculative TLB untouched (section 4.7).
+        """
+        process_id = address_space.process_id
+        entry = self.tlb.lookup(process_id, virtual_address)
+        if entry is not None:
+            physical = (entry.frame * self.config.page_size
+                        + virtual_address % self.config.page_size)
+            return TranslationResult(physical_address=physical,
+                                     latency=self.config.hit_latency,
+                                     tlb_hit=True)
+        if self.filter_tlb is not None:
+            filter_entry = self.filter_tlb.lookup(process_id, virtual_address)
+            if filter_entry is not None:
+                physical = (filter_entry.frame * self.config.page_size
+                            + virtual_address % self.config.page_size)
+                return TranslationResult(physical_address=physical,
+                                         latency=self.config.hit_latency,
+                                         tlb_hit=False, filter_hit=True)
+        physical = self.walker.walk(address_space, virtual_address)
+        if physical is None:
+            return TranslationResult(physical_address=None,
+                                     latency=self.walker.walk_latency,
+                                     tlb_hit=False, walked=True, fault=True)
+        frame = physical // self.config.page_size
+        if speculative and self.filter_tlb is not None:
+            self.filter_tlb.insert_speculative(process_id, virtual_address,
+                                               frame)
+        else:
+            self.tlb.insert(process_id, virtual_address, frame)
+        return TranslationResult(physical_address=physical,
+                                 latency=self.walker.walk_latency,
+                                 tlb_hit=False, walked=True)
+
+    def commit_translation(self, address_space: AddressSpace,
+                           virtual_address: int) -> None:
+        """Promote a speculative translation when its instruction commits."""
+        if self.filter_tlb is None:
+            return
+        promoted = self.filter_tlb.commit(address_space.process_id,
+                                          virtual_address)
+        if not promoted:
+            # The paper re-translates at commit when the speculative entry is
+            # gone; the result lands directly in the non-speculative TLB.
+            physical = address_space.translate(virtual_address, allocate=True)
+            if physical is not None:
+                self.tlb.insert(address_space.process_id, virtual_address,
+                                physical // self.config.page_size)
+
+    def context_switch(self) -> None:
+        """Flush speculative translation state on a protection-domain switch."""
+        if self.filter_tlb is not None:
+            self.filter_tlb.flush()

@@ -1,0 +1,138 @@
+"""Translation lookaside buffers.
+
+Table 1 specifies 64-entry, fully associative, split instruction/data TLBs.
+A TLB maps (process, virtual page) to a physical frame; misses are resolved
+by the hardware page-table walker.  The speculative *filter TLB* of
+section 4.7 lives in :mod:`repro.tlb.filter_tlb`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.common.addresses import page_number, page_offset
+from repro.common.params import TLBConfig
+from repro.common.statistics import StatGroup
+
+
+@dataclass(frozen=True)
+class TLBTag:
+    """The key a TLB entry is looked up by."""
+
+    process_id: int
+    virtual_page: int
+
+
+@dataclass
+class TLBEntry:
+    """One cached translation."""
+
+    tag: TLBTag
+    frame: int
+    writable: bool = True
+    speculative: bool = False
+
+
+class TLB:
+    """A fully associative TLB with LRU replacement."""
+
+    def __init__(self, config: Optional[TLBConfig] = None,
+                 entries: Optional[int] = None,
+                 stats: Optional[StatGroup] = None,
+                 name: str = "tlb") -> None:
+        self.config = config or TLBConfig()
+        self.capacity = entries if entries is not None else self.config.entries
+        if self.capacity <= 0:
+            raise ValueError("TLB needs at least one entry")
+        self.page_size = self.config.page_size
+        self._entries: "OrderedDict[TLBTag, TLBEntry]" = OrderedDict()
+        stats = stats or StatGroup(name)
+        self.stats = stats
+        self._hits = stats.counter("hits")
+        self._misses = stats.counter("misses")
+        self._evictions = stats.counter("evictions")
+        self._flushes = stats.counter("flushes")
+
+    def _tag(self, process_id: int, virtual_address: int) -> TLBTag:
+        return TLBTag(process_id, page_number(virtual_address, self.page_size))
+
+    def lookup(self, process_id: int,
+               virtual_address: int) -> Optional[TLBEntry]:
+        """Return the entry translating ``virtual_address``, if cached."""
+        tag = self._tag(process_id, virtual_address)
+        entry = self._entries.get(tag)
+        if entry is None:
+            self._misses.increment()
+            return None
+        self._entries.move_to_end(tag)
+        self._hits.increment()
+        return entry
+
+    def probe(self, process_id: int,
+              virtual_address: int) -> Optional[TLBEntry]:
+        """Lookup without updating LRU or statistics (attack/test helper)."""
+        return self._entries.get(self._tag(process_id, virtual_address))
+
+    def insert(self, process_id: int, virtual_address: int, frame: int,
+               writable: bool = True,
+               speculative: bool = False) -> Tuple[TLBEntry, Optional[TLBEntry]]:
+        """Install a translation; returns (entry, evicted_entry_or_None)."""
+        tag = self._tag(process_id, virtual_address)
+        victim: Optional[TLBEntry] = None
+        if tag in self._entries:
+            self._entries.move_to_end(tag)
+            entry = self._entries[tag]
+            entry.frame = frame
+            entry.writable = writable
+            entry.speculative = speculative
+            return entry, None
+        if len(self._entries) >= self.capacity:
+            _, victim = self._entries.popitem(last=False)
+            self._evictions.increment()
+        entry = TLBEntry(tag=tag, frame=frame, writable=writable,
+                         speculative=speculative)
+        self._entries[tag] = entry
+        return entry, victim
+
+    def translate(self, process_id: int,
+                  virtual_address: int) -> Optional[int]:
+        """Full translation through the TLB (None on a miss)."""
+        entry = self.lookup(process_id, virtual_address)
+        if entry is None:
+            return None
+        return entry.frame * self.page_size + page_offset(
+            virtual_address, self.page_size)
+
+    def invalidate(self, process_id: int, virtual_address: int) -> bool:
+        tag = self._tag(process_id, virtual_address)
+        if tag in self._entries:
+            del self._entries[tag]
+            return True
+        return False
+
+    def flush(self) -> int:
+        """Drop every entry; returns how many were dropped."""
+        dropped = len(self._entries)
+        self._entries.clear()
+        self._flushes.increment()
+        return dropped
+
+    def flush_process(self, process_id: int) -> int:
+        """Drop entries belonging to one process (used on address-space exit)."""
+        victims = [tag for tag in self._entries if tag.process_id == process_id]
+        for tag in victims:
+            del self._entries[tag]
+        return len(victims)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hits(self) -> int:
+        return self._hits.value
+
+    @property
+    def misses(self) -> int:
+        return self._misses.value

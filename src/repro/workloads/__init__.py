@@ -1,0 +1,25 @@
+"""Synthetic workload models of SPEC CPU2006 and Parsec."""
+
+from repro.workloads.generator import TraceGenerator, generate_workload
+from repro.workloads.profiles import (
+    PARSEC_PROFILES,
+    SPEC2006_PROFILES,
+    WorkloadProfile,
+    get_profile,
+    parsec_benchmarks,
+    spec_benchmarks,
+)
+from repro.workloads.trace import Trace, WorkloadTraces
+
+__all__ = [
+    "PARSEC_PROFILES",
+    "SPEC2006_PROFILES",
+    "Trace",
+    "TraceGenerator",
+    "WorkloadProfile",
+    "WorkloadTraces",
+    "generate_workload",
+    "get_profile",
+    "parsec_benchmarks",
+    "spec_benchmarks",
+]

@@ -1,0 +1,379 @@
+"""Per-benchmark workload profiles.
+
+The paper evaluates on SPEC CPU2006 (26 single-threaded workloads, Figure 3,
+7 and 9) and Parsec (7 four-threaded workloads, Figures 4, 5, 6 and 8).  We
+cannot run the original binaries, so each benchmark is modelled as a
+:class:`WorkloadProfile`: a compact description of the characteristics that
+drive the paper's per-benchmark results —
+
+* the instruction mix and the size of the data working set;
+* spatial locality (sequential streaming) and temporal locality (short-
+  distance reuse), which determine filter-cache and L1 hit rates;
+* memory-level parallelism (how many concurrent, distinct cache lines the
+  load stream touches), which determines how sensitive a workload is to the
+  filter-cache *size* (Figure 5: streamcluster, freqmine) and to losing
+  write-through data;
+* how regular the address stream is (``streaming``), which determines how
+  much the stride prefetcher helps and how sensitive the workload is to
+  commit-time prefetch training (lbm and bwaves gain, leslie3d and
+  cactusADM lose timeliness);
+* the conflict-mapping behaviour (``set_conflict_pressure``), which models
+  cactusADM-style power-of-two strides that thrash a low-associativity
+  filter cache (Figure 6);
+* branch behaviour (how predictable branches are, how much wrong-path memory
+  traffic a misprediction creates);
+* pointer chasing (dependent loads), which is what makes STT expensive on
+  astar, omnetpp, mcf and canneal;
+* the instruction footprint, which is what makes the *instruction* filter
+  cache costly for omnetpp, namd and sjeng;
+* store intensity and how often stores touch data that is not already held
+  privately, which drives the filter-cache invalidation broadcasts of
+  Figure 7;
+* for Parsec, the amount of read/write sharing between the four threads.
+
+The numbers are calibrated qualitatively from the published characteristics
+of the benchmarks and tuned so that the relative shapes of the paper's
+figures emerge from the simulator; they are not measurements of the real
+binaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Tuple
+
+KIB = 1024
+MIB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Synthetic model of one benchmark."""
+
+    name: str
+    suite: str = "spec2006"
+    # -- instruction mix (fractions of the dynamic instruction stream) -------
+    load_fraction: float = 0.25
+    store_fraction: float = 0.10
+    branch_fraction: float = 0.12
+    fp_fraction: float = 0.05
+    mul_fraction: float = 0.02
+    # -- data-side behaviour ---------------------------------------------------
+    working_set_bytes: int = 256 * KIB
+    hot_set_bytes: int = 16 * KIB
+    spatial_locality: float = 0.45
+    temporal_locality: float = 0.35
+    streaming: float = 0.2
+    pointer_chase_fraction: float = 0.05
+    concurrent_streams: int = 4
+    set_conflict_pressure: float = 0.0
+    store_private_fraction: float = 0.75
+    # -- control-flow behaviour ---------------------------------------------------
+    branch_predictability: float = 0.94
+    loop_bias: float = 0.85
+    wrong_path_loads: float = 1.5
+    # -- instruction-side behaviour -------------------------------------------------
+    instruction_footprint_bytes: int = 12 * KIB
+    hot_code_fraction: float = 0.8
+    # -- system interaction -----------------------------------------------------------
+    syscall_rate: float = 0.0001
+    # -- multithreading (Parsec) ---------------------------------------------------------
+    num_threads: int = 1
+    shared_fraction: float = 0.0
+    shared_working_set_bytes: int = 0
+    shared_write_fraction: float = 0.1
+    # -- dependency structure ----------------------------------------------------------------
+    load_use_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        total_mem = self.load_fraction + self.store_fraction
+        if total_mem >= 0.9:
+            raise ValueError("memory fraction unrealistically high")
+        for probability_name in ("spatial_locality", "temporal_locality",
+                                 "streaming", "pointer_chase_fraction",
+                                 "branch_predictability", "shared_fraction"):
+            value = getattr(self, probability_name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{probability_name} must be a probability")
+
+    def scaled_for_sample(self, instructions: int,
+                          reference: int = 20000) -> "WorkloadProfile":
+        """Scale the working sets to a short instruction sample.
+
+        The paper simulates 1-billion-instruction samples; our samples are
+        four to five orders of magnitude shorter.  To keep cache hit rates
+        (rather than compulsory misses) the dominant effect, the working-set
+        and footprint sizes are scaled with the sample length, with a floor
+        so small benchmarks keep their identity.
+        """
+        if instructions >= reference:
+            return self
+        scale = max(0.1, instructions / reference)
+        return replace(
+            self,
+            working_set_bytes=max(8 * KIB,
+                                  int(self.working_set_bytes * scale)),
+            hot_set_bytes=max(2 * KIB, int(self.hot_set_bytes * scale)),
+            shared_working_set_bytes=max(
+                4 * KIB if self.shared_working_set_bytes else 0,
+                int(self.shared_working_set_bytes * scale)),
+            instruction_footprint_bytes=max(
+                2 * KIB, int(self.instruction_footprint_bytes * scale)))
+
+
+def _spec(name: str, **overrides) -> WorkloadProfile:
+    return WorkloadProfile(name=name, suite="spec2006", **overrides)
+
+
+def _parsec(name: str, **overrides) -> WorkloadProfile:
+    defaults = dict(num_threads=4, shared_fraction=0.25,
+                    shared_working_set_bytes=128 * KIB,
+                    syscall_rate=0.0002)
+    defaults.update(overrides)
+    return WorkloadProfile(name=name, suite="parsec", **defaults)
+
+
+#: The 26 SPEC CPU2006 workloads of Figures 3, 7 and 9.
+SPEC2006_PROFILES: Dict[str, WorkloadProfile] = {
+    profile.name: profile for profile in [
+        _spec("astar", load_fraction=0.30, store_fraction=0.08,
+              branch_fraction=0.16, working_set_bytes=2 * MIB,
+              hot_set_bytes=48 * KIB, pointer_chase_fraction=0.35,
+              temporal_locality=0.45, spatial_locality=0.25,
+              branch_predictability=0.90, instruction_footprint_bytes=10 * KIB,
+              load_use_fraction=0.7, store_private_fraction=0.6),
+        _spec("bwaves", load_fraction=0.38, store_fraction=0.09,
+              branch_fraction=0.04, fp_fraction=0.30,
+              working_set_bytes=8 * MIB, hot_set_bytes=256 * KIB,
+              streaming=0.85, spatial_locality=0.55, temporal_locality=0.10,
+              concurrent_streams=14, branch_predictability=0.985,
+              wrong_path_loads=2.5, instruction_footprint_bytes=6 * KIB,
+              store_private_fraction=0.25),
+        _spec("bzip2", load_fraction=0.26, store_fraction=0.11,
+              branch_fraction=0.15, working_set_bytes=1 * MIB,
+              hot_set_bytes=64 * KIB, temporal_locality=0.45,
+              spatial_locality=0.35, branch_predictability=0.91,
+              instruction_footprint_bytes=8 * KIB),
+        _spec("cactusADM", load_fraction=0.36, store_fraction=0.12,
+              branch_fraction=0.03, fp_fraction=0.35,
+              working_set_bytes=4 * MIB, hot_set_bytes=128 * KIB,
+              streaming=0.65, spatial_locality=0.40, temporal_locality=0.20,
+              concurrent_streams=10, set_conflict_pressure=0.5,
+              branch_predictability=0.99, instruction_footprint_bytes=14 * KIB,
+              store_private_fraction=0.45),
+        _spec("calculix", load_fraction=0.30, store_fraction=0.09,
+              branch_fraction=0.06, fp_fraction=0.30,
+              working_set_bytes=512 * KIB, hot_set_bytes=32 * KIB,
+              temporal_locality=0.50, spatial_locality=0.40,
+              branch_predictability=0.97, instruction_footprint_bytes=12 * KIB),
+        _spec("gamess", load_fraction=0.32, store_fraction=0.10,
+              branch_fraction=0.08, fp_fraction=0.30,
+              working_set_bytes=256 * KIB, hot_set_bytes=24 * KIB,
+              temporal_locality=0.60, spatial_locality=0.40,
+              branch_predictability=0.96, instruction_footprint_bytes=20 * KIB),
+        _spec("gcc", load_fraction=0.27, store_fraction=0.13,
+              branch_fraction=0.20, working_set_bytes=2 * MIB,
+              hot_set_bytes=96 * KIB, temporal_locality=0.40,
+              spatial_locality=0.30, branch_predictability=0.92,
+              instruction_footprint_bytes=32 * KIB, store_private_fraction=0.4,
+              pointer_chase_fraction=0.15),
+        _spec("GemsFDTD", load_fraction=0.37, store_fraction=0.11,
+              branch_fraction=0.04, fp_fraction=0.32,
+              working_set_bytes=6 * MIB, hot_set_bytes=192 * KIB,
+              streaming=0.7, spatial_locality=0.45, temporal_locality=0.15,
+              concurrent_streams=10, branch_predictability=0.985,
+              instruction_footprint_bytes=10 * KIB,
+              store_private_fraction=0.35),
+        _spec("gobmk", load_fraction=0.26, store_fraction=0.12,
+              branch_fraction=0.19, working_set_bytes=512 * KIB,
+              hot_set_bytes=40 * KIB, temporal_locality=0.45,
+              spatial_locality=0.30, branch_predictability=0.88,
+              wrong_path_loads=2.0, instruction_footprint_bytes=24 * KIB),
+        _spec("gromacs", load_fraction=0.30, store_fraction=0.10,
+              branch_fraction=0.07, fp_fraction=0.32,
+              working_set_bytes=384 * KIB, hot_set_bytes=32 * KIB,
+              temporal_locality=0.55, spatial_locality=0.40,
+              branch_predictability=0.96, instruction_footprint_bytes=12 * KIB),
+        _spec("h264ref", load_fraction=0.33, store_fraction=0.13,
+              branch_fraction=0.10, working_set_bytes=512 * KIB,
+              hot_set_bytes=48 * KIB, temporal_locality=0.55,
+              spatial_locality=0.45, branch_predictability=0.94,
+              instruction_footprint_bytes=18 * KIB),
+        _spec("hmmer", load_fraction=0.34, store_fraction=0.14,
+              branch_fraction=0.08, working_set_bytes=192 * KIB,
+              hot_set_bytes=24 * KIB, temporal_locality=0.60,
+              spatial_locality=0.50, branch_predictability=0.97,
+              instruction_footprint_bytes=8 * KIB),
+        _spec("lbm", load_fraction=0.35, store_fraction=0.16,
+              branch_fraction=0.02, fp_fraction=0.30,
+              working_set_bytes=8 * MIB, hot_set_bytes=256 * KIB,
+              streaming=0.9, spatial_locality=0.65, temporal_locality=0.10,
+              concurrent_streams=8, branch_predictability=0.995,
+              wrong_path_loads=2.0, instruction_footprint_bytes=4 * KIB,
+              store_private_fraction=0.2),
+        _spec("leslie3d", load_fraction=0.37, store_fraction=0.11,
+              branch_fraction=0.04, fp_fraction=0.32,
+              working_set_bytes=5 * MIB, hot_set_bytes=160 * KIB,
+              streaming=0.8, spatial_locality=0.50, temporal_locality=0.12,
+              concurrent_streams=12, branch_predictability=0.99,
+              instruction_footprint_bytes=8 * KIB,
+              store_private_fraction=0.3),
+        _spec("libquantum", load_fraction=0.33, store_fraction=0.10,
+              branch_fraction=0.13, working_set_bytes=4 * MIB,
+              hot_set_bytes=192 * KIB, streaming=0.9, spatial_locality=0.6,
+              temporal_locality=0.08, concurrent_streams=4,
+              branch_predictability=0.99, instruction_footprint_bytes=4 * KIB,
+              store_private_fraction=0.3),
+        _spec("mcf", load_fraction=0.35, store_fraction=0.09,
+              branch_fraction=0.17, working_set_bytes=8 * MIB,
+              hot_set_bytes=256 * KIB, pointer_chase_fraction=0.45,
+              temporal_locality=0.25, spatial_locality=0.15,
+              branch_predictability=0.90, wrong_path_loads=2.5,
+              instruction_footprint_bytes=6 * KIB, load_use_fraction=0.75,
+              store_private_fraction=0.35),
+        _spec("milc", load_fraction=0.36, store_fraction=0.12,
+              branch_fraction=0.03, fp_fraction=0.34,
+              working_set_bytes=6 * MIB, hot_set_bytes=192 * KIB,
+              streaming=0.7, spatial_locality=0.45, temporal_locality=0.12,
+              concurrent_streams=8, branch_predictability=0.99,
+              instruction_footprint_bytes=8 * KIB,
+              store_private_fraction=0.3),
+        _spec("namd", load_fraction=0.31, store_fraction=0.08,
+              branch_fraction=0.05, fp_fraction=0.36,
+              working_set_bytes=384 * KIB, hot_set_bytes=32 * KIB,
+              temporal_locality=0.55, spatial_locality=0.40,
+              branch_predictability=0.97,
+              instruction_footprint_bytes=36 * KIB, hot_code_fraction=0.55),
+        _spec("omnetpp", load_fraction=0.31, store_fraction=0.15,
+              branch_fraction=0.18, working_set_bytes=2 * MIB,
+              hot_set_bytes=96 * KIB, pointer_chase_fraction=0.40,
+              temporal_locality=0.40, spatial_locality=0.20,
+              branch_predictability=0.92, wrong_path_loads=2.0,
+              instruction_footprint_bytes=44 * KIB, hot_code_fraction=0.5,
+              load_use_fraction=0.7, store_private_fraction=0.5),
+        _spec("povray", load_fraction=0.30, store_fraction=0.09,
+              branch_fraction=0.13, fp_fraction=0.25,
+              working_set_bytes=96 * KIB, hot_set_bytes=12 * KIB,
+              temporal_locality=0.72, spatial_locality=0.45,
+              branch_predictability=0.94,
+              instruction_footprint_bytes=24 * KIB),
+        _spec("sjeng", load_fraction=0.24, store_fraction=0.09,
+              branch_fraction=0.19, working_set_bytes=384 * KIB,
+              hot_set_bytes=48 * KIB, temporal_locality=0.40,
+              spatial_locality=0.25, branch_predictability=0.89,
+              wrong_path_loads=2.0, instruction_footprint_bytes=34 * KIB,
+              hot_code_fraction=0.55),
+        _spec("soplex", load_fraction=0.33, store_fraction=0.08,
+              branch_fraction=0.14, fp_fraction=0.20,
+              working_set_bytes=3 * MIB, hot_set_bytes=128 * KIB,
+              temporal_locality=0.35, spatial_locality=0.35,
+              pointer_chase_fraction=0.15, branch_predictability=0.93,
+              instruction_footprint_bytes=16 * KIB,
+              store_private_fraction=0.5),
+        _spec("sphinx3", load_fraction=0.34, store_fraction=0.07,
+              branch_fraction=0.10, fp_fraction=0.25,
+              working_set_bytes=1 * MIB, hot_set_bytes=64 * KIB,
+              temporal_locality=0.45, spatial_locality=0.45, streaming=0.4,
+              branch_predictability=0.95,
+              instruction_footprint_bytes=12 * KIB),
+        _spec("tonto", load_fraction=0.31, store_fraction=0.11,
+              branch_fraction=0.09, fp_fraction=0.30,
+              working_set_bytes=256 * KIB, hot_set_bytes=24 * KIB,
+              temporal_locality=0.55, spatial_locality=0.40,
+              branch_predictability=0.96,
+              instruction_footprint_bytes=26 * KIB),
+        _spec("xalancbmk", load_fraction=0.30, store_fraction=0.11,
+              branch_fraction=0.21, working_set_bytes=1 * MIB,
+              hot_set_bytes=64 * KIB, pointer_chase_fraction=0.25,
+              temporal_locality=0.45, spatial_locality=0.25,
+              branch_predictability=0.93,
+              instruction_footprint_bytes=30 * KIB, load_use_fraction=0.65),
+        _spec("zeusmp", load_fraction=0.35, store_fraction=0.12,
+              branch_fraction=0.04, fp_fraction=0.33,
+              working_set_bytes=6 * MIB, hot_set_bytes=192 * KIB,
+              streaming=0.6, spatial_locality=0.40, temporal_locality=0.15,
+              concurrent_streams=12, set_conflict_pressure=0.3,
+              branch_predictability=0.985,
+              instruction_footprint_bytes=22 * KIB,
+              store_private_fraction=0.3),
+    ]
+}
+
+
+#: The 7 Parsec workloads of Figures 4, 5, 6 and 8 (4 threads, simsmall).
+PARSEC_PROFILES: Dict[str, WorkloadProfile] = {
+    profile.name: profile for profile in [
+        _parsec("blackscholes", load_fraction=0.28, store_fraction=0.08,
+                branch_fraction=0.08, fp_fraction=0.35,
+                working_set_bytes=64 * KIB, hot_set_bytes=4 * KIB,
+                temporal_locality=0.78, spatial_locality=0.55,
+                branch_predictability=0.97, shared_fraction=0.10,
+                instruction_footprint_bytes=3 * KIB, load_use_fraction=0.7,
+                set_conflict_pressure=0.15),
+        _parsec("canneal", load_fraction=0.32, store_fraction=0.09,
+                branch_fraction=0.14, working_set_bytes=4 * MIB,
+                hot_set_bytes=128 * KIB, pointer_chase_fraction=0.40,
+                temporal_locality=0.30, spatial_locality=0.15,
+                branch_predictability=0.92, shared_fraction=0.35,
+                shared_working_set_bytes=512 * KIB, load_use_fraction=0.7,
+                instruction_footprint_bytes=8 * KIB,
+                store_private_fraction=0.4, set_conflict_pressure=0.2),
+        _parsec("ferret", load_fraction=0.30, store_fraction=0.11,
+                branch_fraction=0.13, fp_fraction=0.15,
+                working_set_bytes=1 * MIB, hot_set_bytes=48 * KIB,
+                temporal_locality=0.50, spatial_locality=0.40,
+                branch_predictability=0.94, shared_fraction=0.30,
+                shared_working_set_bytes=256 * KIB,
+                instruction_footprint_bytes=20 * KIB,
+                store_private_fraction=0.5),
+        _parsec("fluidanimate", load_fraction=0.31, store_fraction=0.12,
+                branch_fraction=0.10, fp_fraction=0.28,
+                working_set_bytes=512 * KIB, hot_set_bytes=16 * KIB,
+                temporal_locality=0.65, spatial_locality=0.45,
+                branch_predictability=0.95, shared_fraction=0.30,
+                shared_working_set_bytes=256 * KIB,
+                instruction_footprint_bytes=12 * KIB, load_use_fraction=0.65,
+                store_private_fraction=0.5, set_conflict_pressure=0.25),
+        _parsec("freqmine", load_fraction=0.33, store_fraction=0.10,
+                branch_fraction=0.16, working_set_bytes=2 * MIB,
+                hot_set_bytes=96 * KIB, temporal_locality=0.55,
+                spatial_locality=0.30, pointer_chase_fraction=0.20,
+                concurrent_streams=12, branch_predictability=0.93,
+                shared_fraction=0.25, shared_working_set_bytes=256 * KIB,
+                instruction_footprint_bytes=14 * KIB,
+                load_use_fraction=0.65),
+        _parsec("streamcluster", load_fraction=0.36, store_fraction=0.06,
+                branch_fraction=0.10, fp_fraction=0.20,
+                working_set_bytes=2 * MIB, hot_set_bytes=16 * KIB,
+                streaming=0.55, spatial_locality=0.40, temporal_locality=0.55,
+                concurrent_streams=14, branch_predictability=0.96,
+                shared_fraction=0.35, shared_working_set_bytes=512 * KIB,
+                instruction_footprint_bytes=4 * KIB, load_use_fraction=0.7,
+                store_private_fraction=0.4, set_conflict_pressure=0.25),
+        _parsec("swaptions", load_fraction=0.27, store_fraction=0.09,
+                branch_fraction=0.09, fp_fraction=0.35,
+                working_set_bytes=96 * KIB, hot_set_bytes=6 * KIB,
+                temporal_locality=0.75, spatial_locality=0.50,
+                branch_predictability=0.96, shared_fraction=0.08,
+                instruction_footprint_bytes=6 * KIB, load_use_fraction=0.65),
+    ]
+}
+
+
+def spec_benchmarks() -> List[str]:
+    """Benchmark names in the order Figure 3 plots them."""
+    return list(SPEC2006_PROFILES)
+
+
+def parsec_benchmarks() -> List[str]:
+    """Benchmark names in the order Figure 4 plots them."""
+    return list(PARSEC_PROFILES)
+
+
+def get_profile(name: str) -> WorkloadProfile:
+    """Look a profile up by benchmark name in either suite."""
+    if name in SPEC2006_PROFILES:
+        return SPEC2006_PROFILES[name]
+    if name in PARSEC_PROFILES:
+        return PARSEC_PROFILES[name]
+    raise KeyError(f"unknown benchmark: {name!r}")

@@ -1,0 +1,56 @@
+"""Trace containers.
+
+A :class:`Trace` is the unit of work a core executes: an ordered list of
+micro-ops plus the metadata the experiment harness needs (which benchmark
+and thread it models, which process it belongs to).  Multi-threaded
+workloads (Parsec) are represented as a :class:`WorkloadTraces` bundle with
+one trace per thread, all sharing one process/address space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List
+
+from repro.cpu.instructions import MicroOp, summarize_trace
+
+
+@dataclass
+class Trace:
+    """One thread's instruction stream."""
+
+    benchmark: str
+    thread_id: int
+    process_id: int
+    ops: List[MicroOp] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __iter__(self) -> Iterator[MicroOp]:
+        return iter(self.ops)
+
+    def summary(self) -> Dict[str, float]:
+        return summarize_trace(self.ops)
+
+
+@dataclass
+class WorkloadTraces:
+    """All threads of one benchmark run."""
+
+    benchmark: str
+    suite: str
+    traces: List[Trace] = field(default_factory=list)
+
+    @property
+    def num_threads(self) -> int:
+        return len(self.traces)
+
+    def total_instructions(self) -> int:
+        return sum(len(trace) for trace in self.traces)
+
+    def thread(self, index: int) -> Trace:
+        return self.traces[index]
+
+    def __iter__(self) -> Iterator[Trace]:
+        return iter(self.traces)

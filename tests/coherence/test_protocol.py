@@ -1,0 +1,136 @@
+"""Tests for the MESI coherence controller, bus and snoop filter."""
+
+import pytest
+
+from repro.caches.base_cache import SetAssociativeCache
+from repro.coherence.bus import CoherenceBus
+from repro.coherence.protocol import CoherenceController
+from repro.coherence.snoop_filter import SnoopFilter
+from repro.coherence.states import CoherenceState, E, I, M, S
+from repro.common.params import CacheConfig
+from repro.memory.main_memory import MainMemory
+
+
+def build_two_core_setup():
+    bus = CoherenceBus()
+    l1s = {}
+    for core in range(2):
+        l1s[core] = SetAssociativeCache(CacheConfig(
+            name=f"l1d{core}", size_bytes=4096, associativity=2,
+            hit_latency=2))
+        bus.register_private_cache(core, l1s[core])
+    l2 = SetAssociativeCache(CacheConfig(name="l2", size_bytes=64 * 1024,
+                                         associativity=8, hit_latency=20))
+    memory = MainMemory()
+    controller = CoherenceController(bus, l2, memory)
+    return bus, l1s, l2, memory, controller
+
+
+class TestStates:
+    def test_state_predicates(self):
+        assert M.can_write and M.is_private
+        assert E.is_private and not E.can_write
+        assert S.can_read and not S.is_private
+        assert not I.is_valid
+
+
+class TestReadPath:
+    def test_cold_read_goes_to_memory_and_grants_exclusive(self):
+        _, _, l2, memory, controller = build_two_core_setup()
+        outcome = controller.read(0, 0x1000, now=0)
+        assert outcome.hit_level == "memory"
+        assert outcome.granted_state is E
+        assert outcome.exclusive_available
+        assert memory.total_reads == 1
+        assert l2.contains(0x1000)
+
+    def test_l2_hit_is_cheaper_than_memory(self):
+        _, _, _, _, controller = build_two_core_setup()
+        cold = controller.read(0, 0x2000, now=0)
+        warm = controller.read(1, 0x2000, now=100)
+        assert warm.hit_level == "l2"
+        assert warm.latency < cold.latency
+
+    def test_peer_modified_copy_is_downgraded(self):
+        _, l1s, l2, _, controller = build_two_core_setup()
+        l1s[0].fill(0x3000, M, now=0, dirty=True)
+        outcome = controller.read(1, 0x3000, now=10)
+        assert outcome.hit_level == "peer"
+        assert l1s[0].state_of(0x3000) is S
+        assert l2.contains(0x3000)
+
+    def test_speculative_read_nacked_under_protection(self):
+        """Reduced coherency speculation (section 4.5)."""
+        bus, l1s, _, _, controller = build_two_core_setup()
+        l1s[0].fill(0x3000, E, now=0)
+        outcome = controller.read(1, 0x3000, now=10, speculative=True,
+                                  protect_coherence=True)
+        assert outcome.nacked
+        assert not outcome.served
+        assert l1s[0].state_of(0x3000) is E  # untouched
+        assert bus.nacks == 1
+        # The same request succeeds once it is non-speculative.
+        retry = controller.read(1, 0x3000, now=20, speculative=False,
+                                protect_coherence=True)
+        assert retry.served
+        assert l1s[0].state_of(0x3000) is S
+
+    def test_filter_fill_without_l2_install(self):
+        """The filter-cache fill path leaves no trace in the L2."""
+        _, _, l2, memory, controller = build_two_core_setup()
+        outcome = controller.read(0, 0x7000, now=0, speculative=True,
+                                  fill_l2=False)
+        assert outcome.hit_level == "memory"
+        assert not l2.contains(0x7000)
+        assert memory.total_reads == 1
+
+
+class TestWritePath:
+    def test_write_invalidates_other_copies(self):
+        _, l1s, _, _, controller = build_two_core_setup()
+        l1s[1].fill(0x4000, S, now=0)
+        outcome = controller.write(0, 0x4000, now=10)
+        assert outcome.granted_state is M
+        assert l1s[1].state_of(0x4000) is I
+
+    def test_already_private_write_is_free(self):
+        _, _, _, _, controller = build_two_core_setup()
+        outcome = controller.write(0, 0x5000, now=0, already_private=True)
+        assert outcome.latency == 0
+
+    def test_filter_broadcast_reaches_registered_listeners(self):
+        bus, _, _, _, controller = build_two_core_setup()
+        invalidated = []
+        bus.register_filter_listener(1, invalidated.append)
+        outcome = controller.write(0, 0x6000, now=0,
+                                   broadcast_to_filters=True)
+        assert outcome.triggered_filter_broadcast
+        assert invalidated == [0x6000]
+        assert bus.filter_broadcasts == 1
+
+    def test_asynchronous_upgrade_invalidates_peers_and_filters(self):
+        bus, l1s, _, _, controller = build_two_core_setup()
+        invalidated = []
+        bus.register_filter_listener(1, invalidated.append)
+        l1s[1].fill(0x8000, S, now=0)
+        controller.asynchronous_exclusive_upgrade(0, 0x8000, now=10)
+        assert l1s[1].state_of(0x8000) is I
+        assert invalidated == [0x8000]
+
+
+class TestSnoopFilter:
+    def test_tracks_sharers(self):
+        snoop_filter = SnoopFilter()
+        snoop_filter.record_fill(0, 0x100)
+        snoop_filter.record_fill(1, 0x100)
+        assert snoop_filter.sharers_of(0x100) == {0, 1}
+        assert snoop_filter.needs_snoop(0, 0x100)
+        assert snoop_filter.multicast_targets(0, 0x100) == {1}
+        snoop_filter.record_eviction(1, 0x100)
+        assert not snoop_filter.needs_snoop(0, 0x100)
+
+    def test_capacity_eviction(self):
+        snoop_filter = SnoopFilter(max_entries=2)
+        for line in (0x100, 0x200, 0x300):
+            snoop_filter.record_fill(0, line)
+        assert len(snoop_filter) <= 2

@@ -1,0 +1,76 @@
+"""Tests and property tests for the address arithmetic helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.addresses import (
+    AddressRange,
+    block_align,
+    block_number,
+    block_offset,
+    lines_covering,
+    page_align,
+    page_number,
+    set_index,
+)
+
+
+class TestBlockArithmetic:
+    def test_align_and_offset(self):
+        assert block_align(0x1234, 64) == 0x1200
+        assert block_offset(0x1234, 64) == 0x34
+        assert block_number(0x1234, 64) == 0x48
+
+    def test_page_helpers(self):
+        assert page_align(0x12345) == 0x12000
+        assert page_number(0x12345) == 0x12
+
+    def test_set_index_wraps(self):
+        assert set_index(0, 8) == 0
+        assert set_index(64 * 8, 8) == 0
+        assert set_index(64 * 9, 8) == 1
+
+    def test_rejects_bad_block_size(self):
+        with pytest.raises(ValueError):
+            block_align(100, 48)
+
+    def test_lines_covering(self):
+        lines = list(lines_covering(100, 200, 64))
+        assert lines == [64, 128, 192, 256]
+        assert list(lines_covering(0, 0)) == []
+
+
+class TestAddressRange:
+    def test_contains_and_overlaps(self):
+        a = AddressRange(base=100, size=50)
+        b = AddressRange(base=140, size=50)
+        c = AddressRange(base=200, size=10)
+        assert a.contains(100) and a.contains(149) and not a.contains(150)
+        assert a.overlaps(b) and not a.overlaps(c)
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(ValueError):
+            AddressRange(base=0, size=-1)
+
+
+@given(address=st.integers(min_value=0, max_value=2 ** 48),
+       block_bits=st.integers(min_value=4, max_value=12))
+def test_align_offset_recompose(address, block_bits):
+    """align(addr) + offset(addr) == addr for any power-of-two block."""
+    block = 1 << block_bits
+    assert block_align(address, block) + block_offset(address, block) == address
+
+
+@given(address=st.integers(min_value=0, max_value=2 ** 48),
+       block_bits=st.integers(min_value=4, max_value=12))
+def test_alignment_is_idempotent(address, block_bits):
+    block = 1 << block_bits
+    aligned = block_align(address, block)
+    assert block_align(aligned, block) == aligned
+    assert block_offset(aligned, block) == 0
+
+
+@given(address=st.integers(min_value=0, max_value=2 ** 40),
+       num_sets=st.integers(min_value=1, max_value=4096))
+def test_set_index_in_range(address, num_sets):
+    assert 0 <= set_index(address, num_sets) < num_sets

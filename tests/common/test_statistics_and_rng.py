@@ -1,0 +1,103 @@
+"""Tests for the statistics tree and the deterministic RNG."""
+
+from hypothesis import given, strategies as st
+
+import pytest
+
+from repro.common.rng import DeterministicRng
+from repro.common.statistics import (
+    Counter,
+    Histogram,
+    StatGroup,
+    geometric_mean,
+    ratio,
+)
+
+
+class TestCountersAndHistograms:
+    def test_counter_increments(self):
+        counter = Counter("c")
+        counter.increment()
+        counter.increment(4)
+        assert counter.value == 5
+        counter.reset()
+        assert counter.value == 0
+
+    def test_histogram_mean(self):
+        histogram = Histogram("h")
+        histogram.sample(10)
+        histogram.sample(20, weight=3)
+        assert histogram.count == 4
+        assert histogram.mean == pytest.approx(17.5)
+        assert histogram.buckets() == {10: 1, 20: 3}
+
+
+class TestStatGroup:
+    def test_nested_access_by_path(self):
+        root = StatGroup("system")
+        root.child("l1d").counter("hits").increment(7)
+        assert root.get("l1d.hits") == 7
+        assert root.get_or_zero("l1d.misses") == 0
+        with pytest.raises(KeyError):
+            root.get("l1d.nonexistent")
+
+    def test_walk_and_reset(self):
+        root = StatGroup("root")
+        root.counter("a").increment(1)
+        root.child("x").counter("b").increment(2)
+        flattened = root.as_dict()
+        assert flattened["root.a"] == 1
+        assert flattened["root.x.b"] == 2
+        root.reset()
+        assert root.get("a") == 0
+
+    def test_report_is_printable(self):
+        root = StatGroup("root")
+        root.counter("a", "description").increment(3)
+        assert "a" in root.report()
+
+
+class TestAggregates:
+    def test_ratio(self):
+        assert ratio(1, 2) == 0.5
+        assert ratio(1, 0, default=7.0) == 7.0
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geometric_mean([]) == 0.0
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+
+class TestDeterministicRng:
+    def test_same_seed_same_stream(self):
+        a = DeterministicRng(7)
+        b = DeterministicRng(7)
+        assert [a.randint(0, 100) for _ in range(20)] == \
+            [b.randint(0, 100) for _ in range(20)]
+
+    def test_fork_streams_differ(self):
+        root = DeterministicRng(7)
+        assert [root.fork(1).randint(0, 10 ** 6) for _ in range(5)] != \
+            [root.fork(2).randint(0, 10 ** 6) for _ in range(5)]
+
+    def test_chance_extremes(self):
+        rng = DeterministicRng(0)
+        assert not rng.chance(0.0)
+        assert rng.chance(1.0)
+
+    @given(mean=st.floats(min_value=1.0, max_value=20.0))
+    def test_geometric_at_least_one(self, mean):
+        rng = DeterministicRng(3)
+        assert all(rng.geometric(mean, maximum=100) >= 1 for _ in range(50))
+
+    @given(n=st.integers(min_value=1, max_value=1000))
+    def test_zipf_index_in_range(self, n):
+        rng = DeterministicRng(5)
+        assert all(0 <= rng.zipf_index(n) < n for _ in range(50))
+
+    def test_weighted_choice_respects_zero_weight(self):
+        rng = DeterministicRng(1)
+        picks = {rng.weighted_choice(["a", "b"], [1.0, 0.0])
+                 for _ in range(50)}
+        assert picks == {"a"}

@@ -1,0 +1,32 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.common.params import (
+    ProtectionMode,
+    SystemConfig,
+    default_system_config,
+)
+from repro.common.rng import DeterministicRng
+from repro.common.statistics import StatGroup
+
+
+@pytest.fixture
+def config() -> SystemConfig:
+    """The Table 1 system in MuonTrap mode, single core."""
+    return default_system_config()
+
+
+@pytest.fixture
+def unprotected_config() -> SystemConfig:
+    return default_system_config(mode=ProtectionMode.UNPROTECTED)
+
+
+@pytest.fixture
+def rng() -> DeterministicRng:
+    return DeterministicRng(42)
+
+
+@pytest.fixture
+def stats() -> StatGroup:
+    return StatGroup("test")

@@ -1,0 +1,38 @@
+"""Tests for the DRAM latency model."""
+
+from repro.common.params import MemoryConfig
+from repro.memory.main_memory import MainMemory
+
+
+class TestMainMemory:
+    def test_read_returns_configured_latency(self):
+        memory = MainMemory(MemoryConfig(access_latency=150))
+        assert memory.read(0x1000, now=0) >= 150
+        assert memory.total_reads == 1
+
+    def test_bank_conflict_adds_penalty(self):
+        memory = MainMemory(MemoryConfig(access_latency=100), num_banks=2,
+                            bank_conflict_penalty=25)
+        first = memory.read(0x0, now=0)
+        # Same bank (line 0 and line 2 map to bank 0 with 2 banks), issued
+        # while the first access is still in flight.
+        second = memory.read(0x80, now=10)
+        assert second == first + 25
+
+    def test_different_banks_do_not_conflict(self):
+        memory = MainMemory(MemoryConfig(access_latency=100), num_banks=2,
+                            bank_conflict_penalty=25)
+        memory.read(0x0, now=0)
+        assert memory.read(0x40, now=10) == 100
+
+    def test_writes_are_counted(self):
+        memory = MainMemory()
+        memory.write(0x2000, now=0)
+        memory.write(0x3000, now=0)
+        assert memory.total_writes == 2
+
+    def test_no_conflict_after_bank_frees(self):
+        memory = MainMemory(MemoryConfig(access_latency=50), num_banks=1,
+                            bank_conflict_penalty=30)
+        memory.read(0x0, now=0)
+        assert memory.read(0x40, now=1000) == 50

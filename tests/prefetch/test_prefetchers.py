@@ -1,0 +1,109 @@
+"""Tests for the prefetchers and the commit-time notification channel."""
+
+from repro.prefetch.base import NullPrefetcher, TrainingEvent
+from repro.prefetch.commit_channel import (
+    CommitPrefetchChannel,
+    PrefetchNotification,
+)
+from repro.prefetch.next_line import NextLinePrefetcher
+from repro.prefetch.stream import StreamPrefetcher
+from repro.prefetch.stride import StridePrefetcher
+
+
+def event(address, pc=0x400, cycle=0, was_miss=True):
+    return TrainingEvent(address=address, pc=pc, cycle=cycle,
+                         was_miss=was_miss)
+
+
+class TestStridePrefetcher:
+    def test_constant_stride_is_detected(self):
+        prefetcher = StridePrefetcher(degree=1, distance=0,
+                                      confidence_threshold=2)
+        issued = []
+        for index in range(6):
+            issued = prefetcher.train(event(0x1000 + index * 256))
+        assert issued, "a constant stride must eventually prefetch"
+        assert issued[0] > 0x1000
+
+    def test_irregular_stream_never_prefetches(self):
+        prefetcher = StridePrefetcher()
+        addresses = [0x1000, 0x5000, 0x2000, 0x9000, 0x3000, 0x7000]
+        assert all(not prefetcher.train(event(a)) for a in addresses)
+
+    def test_reset_clears_table(self):
+        prefetcher = StridePrefetcher()
+        prefetcher.train(event(0x1000))
+        prefetcher.reset()
+        assert prefetcher.entry_for_pc(0x400) is None
+
+
+class TestStreamPrefetcher:
+    def test_region_stream_detected_regardless_of_pc(self):
+        prefetcher = StreamPrefetcher(degree=2, distance=2)
+        issued = []
+        for index in range(8):
+            issued = prefetcher.train(event(0x40_0000 + index * 64,
+                                            pc=0x400 + index * 4))
+        assert issued
+        assert all(line > 0x40_0000 + 7 * 64 for line in issued)
+
+    def test_disruption_reduces_confidence(self):
+        prefetcher = StreamPrefetcher(degree=1, distance=1)
+        for index in range(6):
+            prefetcher.train(event(0x40_0000 + index * 64))
+        before = prefetcher.disruptions
+        prefetcher.train(event(0x40_0000 + 640))   # breaks the stride
+        assert prefetcher.disruptions == before + 1
+
+    def test_streams_in_different_regions_are_independent(self):
+        prefetcher = StreamPrefetcher(degree=1, distance=1)
+        for index in range(6):
+            prefetcher.train(event(0x10_0000 + index * 64))
+            prefetcher.train(event(0x20_0000 + index * 128))
+        assert prefetcher.entry_for_address(0x10_0000).stride == 64
+        assert prefetcher.entry_for_address(0x20_0000).stride == 128
+
+
+class TestNextLineAndNull:
+    def test_next_line_on_miss_only(self):
+        prefetcher = NextLinePrefetcher(degree=2, only_on_miss=True)
+        assert prefetcher.train(event(0x1000, was_miss=False)) == []
+        assert prefetcher.train(event(0x1000, was_miss=True)) == [
+            0x1040, 0x1080]
+
+    def test_null_prefetcher_is_silent(self):
+        prefetcher = NullPrefetcher()
+        assert prefetcher.train(event(0x1000)) == []
+        assert prefetcher.prefetches_issued == 0
+
+
+class TestCommitPrefetchChannel:
+    def _channel(self):
+        channel = CommitPrefetchChannel()
+        fills = []
+        channel.attach("l2", StreamPrefetcher(degree=1, distance=0),
+                       lambda line, now: fills.append(line))
+        return channel, fills
+
+    def test_notifications_reach_attached_prefetcher(self):
+        channel, fills = self._channel()
+        for index in range(8):
+            channel.notify(PrefetchNotification(
+                line_address=0x9000 + index * 64, pc=0x400, level="l2",
+                cycle=index))
+            channel.drain(now=index)
+        assert fills, "commit-time training must eventually issue prefetches"
+
+    def test_unattached_level_is_ignored(self):
+        channel, fills = self._channel()
+        channel.notify(PrefetchNotification(line_address=0x9000, pc=0,
+                                            level="l1", cycle=0))
+        assert channel.pending == 0
+
+    def test_queue_capacity_drops_excess(self):
+        channel = CommitPrefetchChannel(queue_capacity=2)
+        channel.attach("l2", NullPrefetcher(), lambda line, now: None)
+        for index in range(5):
+            channel.notify(PrefetchNotification(line_address=index * 64,
+                                                pc=0, level="l2", cycle=0))
+        assert channel.pending == 2

@@ -1,0 +1,112 @@
+"""Tests for the workload profiles and the synthetic trace generator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cpu.instructions import OpKind
+from repro.workloads.generator import TraceGenerator, generate_workload
+from repro.workloads.profiles import (
+    PARSEC_PROFILES,
+    SPEC2006_PROFILES,
+    WorkloadProfile,
+    get_profile,
+    parsec_benchmarks,
+    spec_benchmarks,
+)
+
+
+class TestProfiles:
+    def test_all_figure_benchmarks_present(self):
+        # The 26 SPEC workloads of Figures 3/7/9 and 7 Parsec of Figures 4-8.
+        assert len(spec_benchmarks()) == 26
+        assert len(parsec_benchmarks()) == 7
+        for name in ["lbm", "mcf", "omnetpp", "povray", "zeusmp", "sphinx3"]:
+            assert name in SPEC2006_PROFILES
+        for name in ["blackscholes", "streamcluster", "freqmine"]:
+            assert name in PARSEC_PROFILES
+
+    def test_parsec_profiles_are_four_threaded(self):
+        assert all(profile.num_threads == 4
+                   for profile in PARSEC_PROFILES.values())
+        assert all(profile.num_threads == 1
+                   for profile in SPEC2006_PROFILES.values())
+
+    def test_get_profile_raises_for_unknown(self):
+        with pytest.raises(KeyError):
+            get_profile("not-a-benchmark")
+
+    def test_scaling_preserves_identity(self):
+        profile = get_profile("mcf").scaled_for_sample(2000)
+        assert profile.name == "mcf"
+        assert profile.working_set_bytes < get_profile("mcf").working_set_bytes
+        assert profile.working_set_bytes >= 8 * 1024
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadProfile(name="bad", temporal_locality=1.5)
+
+
+class TestGenerator:
+    def test_trace_length_and_mix(self):
+        profile = get_profile("hmmer")
+        trace = TraceGenerator(profile, seed=1).generate_single(4000)
+        assert len(trace) == 4000
+        summary = trace.summary()
+        assert abs(summary["load_fraction"] - profile.load_fraction) < 0.05
+        assert abs(summary["store_fraction"] - profile.store_fraction) < 0.04
+        assert abs(summary["branch_fraction"] - profile.branch_fraction) < 0.04
+
+    def test_deterministic_for_same_seed(self):
+        profile = get_profile("gcc")
+        first = TraceGenerator(profile, seed=7).generate_single(500)
+        second = TraceGenerator(profile, seed=7).generate_single(500)
+        assert [(op.kind, op.pc, op.address) for op in first.ops] == \
+            [(op.kind, op.pc, op.address) for op in second.ops]
+
+    def test_different_seeds_differ(self):
+        profile = get_profile("gcc")
+        first = TraceGenerator(profile, seed=1).generate_single(500)
+        second = TraceGenerator(profile, seed=2).generate_single(500)
+        assert [(op.kind, op.address) for op in first.ops] != \
+            [(op.kind, op.address) for op in second.ops]
+
+    def test_multithreaded_workload_has_one_trace_per_thread(self):
+        workload = generate_workload(get_profile("ferret"), 1000, seed=3)
+        assert workload.num_threads == 4
+        assert workload.total_instructions() == 4000
+        bases = {op.address & ~0xFF_FFFF for trace in workload
+                 for op in trace.ops
+                 if op.kind is OpKind.LOAD and op.address < 0x7000_0000}
+        assert len(bases) >= 2, "threads must use distinct private regions"
+
+    def test_pcs_stay_within_instruction_footprint(self):
+        profile = get_profile("povray").scaled_for_sample(2000)
+        trace = TraceGenerator(get_profile("povray"), seed=5).generate_single(
+            2000)
+        code_base = 0x0040_0000
+        for op in trace.ops:
+            assert code_base <= op.pc < code_base + \
+                profile.instruction_footprint_bytes + 4
+
+    def test_branches_carry_wrong_path_accesses(self):
+        trace = TraceGenerator(get_profile("gobmk"), seed=9).generate_single(
+            3000)
+        branches = [op for op in trace.ops if op.kind is OpKind.BRANCH]
+        assert branches
+        assert any(op.wrong_path for op in branches)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       length=st.integers(min_value=50, max_value=1500))
+def test_generator_properties(seed, length):
+    """Property: every generated op is well formed."""
+    profile = get_profile("astar")
+    trace = TraceGenerator(profile, seed=seed).generate_single(length)
+    assert len(trace) == length
+    for op in trace.ops:
+        if op.kind.is_memory:
+            assert op.address is not None and op.address >= 0
+        if op.kind is OpKind.BRANCH:
+            assert op.target is not None
+        assert op.execution_latency >= 0
