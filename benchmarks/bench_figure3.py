@@ -7,8 +7,7 @@ from repro.experiments.figures import figure3
 
 def test_figure3_spec2006(benchmark, runner):
     result = run_once(benchmark, figure3, runner)
-    print("\n" + result.description)
-    print(result.format_table())
+    print("\n" + result.to_markdown())
     # The paper's headline: MuonTrap costs a few percent on SPEC and is
     # cheaper than both InvisiSpec variants.
     assert result.geomeans["MuonTrap"] < result.geomeans["InvisiSpec-Future"]

@@ -7,8 +7,7 @@ from repro.experiments.figures import figure4
 
 def test_figure4_parsec(benchmark, runner):
     result = run_once(benchmark, figure4, runner)
-    print("\n" + result.description)
-    print(result.format_table())
+    print("\n" + result.to_markdown())
     # MuonTrap should be the cheapest protection scheme on Parsec.
     muontrap = result.geomeans["MuonTrap"]
     assert muontrap <= min(result.geomeans["InvisiSpec-Spectre"],

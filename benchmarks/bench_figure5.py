@@ -7,8 +7,7 @@ from repro.experiments.figures import figure5
 
 def test_figure5_filter_cache_size_sweep(benchmark, runner):
     result = run_once(benchmark, figure5, runner)
-    print("\n" + result.description)
-    print(result.format_table())
+    print("\n" + result.to_markdown())
     # The paper: tiny filter caches hurt badly, 2048 bytes is enough that no
     # benchmark slows down appreciably.
     smallest = result.geomeans["64B"]

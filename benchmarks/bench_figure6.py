@@ -7,8 +7,7 @@ from repro.experiments.figures import figure6
 
 def test_figure6_filter_cache_associativity_sweep(benchmark, runner):
     result = run_once(benchmark, figure6, runner)
-    print("\n" + result.description)
-    print(result.format_table())
+    print("\n" + result.to_markdown())
     # Direct-mapped filter caches suffer conflict misses; 4-way is within a
     # small margin of fully associative (the paper picks 4-way).
     assert result.geomeans["4-way"] <= result.geomeans["1-way"] + 0.02

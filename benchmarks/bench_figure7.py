@@ -7,8 +7,7 @@ from repro.experiments.figures import figure7
 
 def test_figure7_write_invalidate_rate(benchmark, runner):
     result = run_once(benchmark, figure7, runner)
-    print("\n" + result.description)
-    print(result.format_table())
+    print("\n" + result.to_markdown())
     rates = result.series["write fcache-invalidate rate"]
     # Rates are proportions, and most stores hit data already held privately,
     # so the broadcast is needed for well under half of the writes on average

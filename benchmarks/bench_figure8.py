@@ -7,8 +7,7 @@ from repro.experiments.figures import figure8
 
 def test_figure8_cumulative_mechanisms_parsec(benchmark, runner):
     result = run_once(benchmark, figure8, runner)
-    print("\n" + result.description)
-    print(result.format_table())
+    print("\n" + result.to_markdown())
     labels = ["insecure L0", "fcache only", "coherency", "ifcache",
               "prefetching", "clear misspec"]
     assert all(label in result.geomeans for label in labels)

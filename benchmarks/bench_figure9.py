@@ -7,8 +7,7 @@ from repro.experiments.figures import figure9
 
 def test_figure9_cumulative_mechanisms_spec(benchmark, runner):
     result = run_once(benchmark, figure9, runner)
-    print("\n" + result.description)
-    print(result.format_table())
+    print("\n" + result.to_markdown())
     labels = ["insecure L0", "fcache only", "coherency", "ifcache",
               "prefetching", "clear misspec", "parallel L1d"]
     assert all(label in result.geomeans for label in labels)

@@ -1,25 +1,43 @@
 """Shared configuration for the benchmark harness.
 
-Every benchmark regenerates one exhibit of the paper.  The sample length per
-workload is deliberately small by default so the whole harness runs in a few
-minutes; set ``REPRO_INSTRUCTIONS`` to a larger value (the paper uses
-1-billion-instruction samples in gem5) for higher-fidelity numbers.
+Every benchmark regenerates one exhibit of the paper.  The harness routes
+through the campaign layer (:mod:`repro.harness`): each figure's run
+matrix executes on a ``multiprocessing`` pool sized by ``REPRO_JOBS``
+(default: every core), and when ``REPRO_STORE`` names a directory the
+per-cell results are persisted there, so re-running the harness only
+simulates cells that are not already cached.
+
+The sample length per workload is deliberately small by default so the
+whole harness runs in a few minutes; set ``REPRO_INSTRUCTIONS`` to a
+larger value (the paper uses 1-billion-instruction samples in gem5) for
+higher-fidelity numbers.  Clear the store (``python -m repro clean``)
+after changing simulator code — results are keyed by their inputs, not by
+the code that produced them.
 """
 
 import os
 
 import pytest
 
-from repro.sim.runner import ExperimentRunner
+from repro.harness.store import ResultStore
+from repro.sim.runner import ExperimentRunner, instructions_per_workload, parallel_jobs
 
 #: Default per-workload sample length for the benchmark harness.
-BENCH_INSTRUCTIONS = int(os.environ.get("REPRO_INSTRUCTIONS", "1000"))
+BENCH_INSTRUCTIONS = instructions_per_workload(default=1000)
 
 
 @pytest.fixture(scope="session")
-def runner() -> ExperimentRunner:
-    """One shared runner so benchmarks reuse cached baseline simulations."""
-    return ExperimentRunner(instructions=BENCH_INSTRUCTIONS)
+def store():
+    """Persistent result store, enabled by setting ``REPRO_STORE``."""
+    path = os.environ.get("REPRO_STORE")
+    return ResultStore(path) if path else None
+
+
+@pytest.fixture(scope="session")
+def runner(store) -> ExperimentRunner:
+    """One shared campaign-backed runner so benchmarks reuse baselines."""
+    return ExperimentRunner(instructions=BENCH_INSTRUCTIONS, store=store,
+                            jobs=parallel_jobs())
 
 
 def run_once(benchmark, func, *args, **kwargs):

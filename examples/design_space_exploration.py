@@ -5,40 +5,80 @@ Parsec: sweeps the filter-cache size (Figure 5) and associativity
 (Figure 6) and prints the normalised execution times, so the 2 KiB /
 4-way design point the paper settles on can be checked.
 
+The sweeps run through the campaign harness: the size and associativity
+matrices execute on a worker pool (``REPRO_JOBS`` workers, default every
+core) and the per-cell results are cached in a persistent store, so
+re-running the exploration — or widening a sweep — only simulates the
+cells that have not been run before.
+
 Run with:  python examples/design_space_exploration.py [instructions]
 """
 
 from __future__ import annotations
 
+import os
 import sys
+import tempfile
 
-from repro.experiments.figures import figure5, figure6
-from repro.sim.runner import ExperimentRunner
+from repro.harness.campaign import Campaign
+from repro.harness.report import Report
+from repro.harness.store import ResultStore
+from repro.harness.suites import register_suite
+from repro.sim.runner import unprotected_config
+from repro.sim.sweeps import (
+    DEFAULT_ASSOCIATIVITY_SWEEP,
+    DEFAULT_SIZE_SWEEP,
+    filter_cache_associativity_configs,
+    filter_cache_size_configs,
+)
 
-BENCHMARKS = ["blackscholes", "streamcluster", "freqmine", "swaptions"]
+#: The Parsec workloads most sensitive to filter-cache geometry.
+register_suite("fcache_sensitive",
+               ["blackscholes", "streamcluster", "freqmine", "swaptions"])
+
+
+def run_sweep(title, configs, instructions, store):
+    campaign = Campaign.from_suites(
+        ["fcache_sensitive"], configs=configs,
+        baseline_config=unprotected_config(num_cores=4),
+        instructions=instructions, store=store)
+    result = campaign.run()
+    report = Report.from_campaign(result, title=title)
+    print(report.to_text())
+    stats = result.stats
+    print(f"[{stats.executed} simulated, "
+          f"{stats.store_hits + stats.memory_hits} cached]")
+    print()
+    return report
 
 
 def main() -> None:
     instructions = int(sys.argv[1]) if len(sys.argv) > 1 else 2000
-    runner = ExperimentRunner(instructions=instructions)
+    store_dir = os.environ.get(
+        "REPRO_STORE", os.path.join(tempfile.gettempdir(), "repro-dse"))
+    store = ResultStore(store_dir)
 
-    size_sweep = figure5(runner, benchmarks=BENCHMARKS)
-    print(size_sweep.description)
-    print(size_sweep.format_table())
-    print()
+    size_configs = {f"{size}B": config for size, config in
+                    filter_cache_size_configs(DEFAULT_SIZE_SWEEP,
+                                              num_cores=4).items()}
+    size_report = run_sweep(
+        "Normalised execution time vs fully associative filter-cache size",
+        size_configs, instructions, store)
 
-    associativity_sweep = figure6(runner, benchmarks=BENCHMARKS)
-    print(associativity_sweep.description)
-    print(associativity_sweep.format_table())
-    print()
+    ways_configs = {f"{ways}-way": config for ways, config in
+                    filter_cache_associativity_configs(
+                        DEFAULT_ASSOCIATIVITY_SWEEP, num_cores=4).items()}
+    ways_report = run_sweep(
+        "Normalised execution time vs 2 KiB filter-cache associativity",
+        ways_configs, instructions, store)
 
-    best_size = min(size_sweep.geomeans, key=size_sweep.geomeans.get)
-    best_ways = min(associativity_sweep.geomeans,
-                    key=associativity_sweep.geomeans.get)
+    best_size = min(size_report.geomeans, key=size_report.geomeans.get)
+    best_ways = min(ways_report.geomeans, key=ways_report.geomeans.get)
+    print(f"result store: {store.root} ({len(store)} cells)")
     print(f"best size in this sweep: {best_size} "
-          f"(geomean {size_sweep.geomeans[best_size]:.3f})")
+          f"(geomean {size_report.geomeans[best_size]:.3f})")
     print(f"best associativity in this sweep: {best_ways} "
-          f"(geomean {associativity_sweep.geomeans[best_ways]:.3f})")
+          f"(geomean {ways_report.geomeans[best_ways]:.3f})")
 
 
 if __name__ == "__main__":

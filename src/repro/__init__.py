@@ -13,7 +13,11 @@ The package is organised around the paper's structure:
 * :mod:`repro.attacks` — the six Spectre-style attacks of the paper;
 * :mod:`repro.workloads` — synthetic SPEC CPU2006 / Parsec workload models;
 * :mod:`repro.sim` and :mod:`repro.experiments` — the experiment harness
-  that regenerates every figure of the evaluation.
+  that regenerates every figure of the evaluation;
+* :mod:`repro.harness` — the campaign layer: named benchmark suites,
+  parallel execution of suite × configuration × seed matrices, a
+  persistent result store and report rendering, exposed on the command
+  line as ``python -m repro``.
 """
 
 from repro.common.params import (

@@ -1,0 +1,217 @@
+"""``python -m repro``: the campaign command line.
+
+Subcommands:
+
+* ``run``    — execute a benchmark suite × protection-scheme matrix on a
+  worker pool, persisting results to the store so re-runs are incremental;
+* ``report`` — render the table (text / markdown / CSV) for a matrix,
+  executing only the cells the store does not already hold;
+* ``clean``  — empty the result store;
+* ``suites`` — list the known benchmark suites.
+
+Examples::
+
+    python -m repro run --suite spec_int --mode muontrap
+    python -m repro run --suite parsec --mode all --jobs 8
+    python -m repro report --suite spec_int --mode muontrap --format csv
+    python -m repro clean
+
+Environment: ``REPRO_INSTRUCTIONS`` (instructions per workload),
+``REPRO_JOBS`` (worker count), ``REPRO_STORE`` (result-store directory).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from repro.common.params import ProtectionMode, SystemConfig
+from repro.harness.campaign import Campaign, DEFAULT_SEED
+from repro.harness.report import Report
+from repro.harness.store import ResultStore
+from repro.harness.suites import UnknownSuiteError, resolve_suites, suite_names
+from repro.sim.runner import unprotected_config
+
+DEFAULT_STORE = ".repro-results"
+
+#: CLI mode name -> series label (matching the figure legends).
+MODE_LABELS = {
+    ProtectionMode.MUONTRAP.value: "MuonTrap",
+    ProtectionMode.INSECURE_L0.value: "Insecure-L0",
+    ProtectionMode.INVISISPEC_SPECTRE.value: "InvisiSpec-Spectre",
+    ProtectionMode.INVISISPEC_FUTURE.value: "InvisiSpec-Future",
+    ProtectionMode.STT_SPECTRE.value: "STT-Spectre",
+    ProtectionMode.STT_FUTURE.value: "STT-Future",
+}
+
+#: ``--mode all``: the five schemes of Figures 3 and 4.
+ALL_MODES = [
+    ProtectionMode.MUONTRAP.value,
+    ProtectionMode.INVISISPEC_SPECTRE.value,
+    ProtectionMode.INVISISPEC_FUTURE.value,
+    ProtectionMode.STT_SPECTRE.value,
+    ProtectionMode.STT_FUTURE.value,
+]
+
+
+def _store_path(args: argparse.Namespace) -> str:
+    return args.store or os.environ.get("REPRO_STORE") or DEFAULT_STORE
+
+
+def _build_configs(modes: Sequence[str]) -> Dict[str, SystemConfig]:
+    expanded: List[str] = []
+    for mode in modes:
+        expanded.extend(ALL_MODES if mode == "all" else [mode])
+    configs: Dict[str, SystemConfig] = {}
+    for mode in expanded:
+        label = MODE_LABELS[mode]
+        configs[label] = SystemConfig(mode=ProtectionMode(mode))
+    return configs
+
+
+def _build_campaign(args: argparse.Namespace) -> Campaign:
+    store = None if args.no_store else ResultStore(_store_path(args))
+    return Campaign.from_suites(
+        args.suite,
+        configs=_build_configs(args.mode),
+        baseline_config=unprotected_config(),
+        baseline_label="baseline",
+        instructions=args.instructions,
+        seed=args.seed,
+        replicates=args.replicates,
+        store=store,
+        jobs=args.jobs,
+    )
+
+
+def _add_matrix_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--suite", action="append",
+        help="suite or benchmark name (repeatable; default: spec_int). "
+             f"Suites: {', '.join(suite_names())}")
+    parser.add_argument(
+        "--mode", action="append",
+        choices=sorted(MODE_LABELS) + ["all"],
+        help="protection scheme to evaluate against the unprotected "
+             "baseline (repeatable; default: muontrap; 'all' = the five "
+             "schemes of Figures 3 and 4)")
+    parser.add_argument("--instructions", type=int, default=None,
+                        help="instructions per workload "
+                             "(default: REPRO_INSTRUCTIONS or 8000)")
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED,
+                        help="campaign base seed (default: %(default)s)")
+    parser.add_argument("--replicates", type=int, default=1,
+                        help="independent seeds per cell "
+                             "(default: %(default)s)")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes "
+                             "(default: REPRO_JOBS or all cores)")
+    parser.add_argument("--store", default=None,
+                        help="result-store directory "
+                             f"(default: REPRO_STORE or {DEFAULT_STORE})")
+    parser.add_argument("--no-store", action="store_true",
+                        help="do not read or write the persistent store")
+    parser.add_argument("--format", default="text",
+                        choices=["text", "markdown", "csv"],
+                        help="report format (default: %(default)s)")
+
+
+def _normalise_matrix_defaults(args: argparse.Namespace) -> None:
+    args.suite = args.suite or ["spec_int"]
+    args.mode = args.mode or [ProtectionMode.MUONTRAP.value]
+
+
+def _render(campaign: Campaign, result, fmt: str) -> str:
+    title = ("Normalised execution time (lower is better), "
+             f"{len(campaign.benchmarks)} benchmarks × "
+             f"{len(campaign.configs)} schemes")
+    return Report.from_campaign(result, title=title).render(fmt)
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    _normalise_matrix_defaults(args)
+    campaign = _build_campaign(args)
+    result = campaign.run()
+    stats = result.stats
+    print(f"benchmarks: {', '.join(campaign.benchmarks)}")
+    print(f"schemes:    {', '.join(campaign.configs)} "
+          f"(baseline: {campaign.baseline_label})")
+    print(f"cells:      {stats.total} "
+          f"({stats.executed} executed, {stats.store_hits} from store, "
+          f"{stats.memory_hits} from memory; "
+          f"{stats.cached_fraction:.0%} cached)")
+    if campaign.store is not None:
+        print(f"store:      {campaign.store.root}")
+    print()
+    print(_render(campaign, result, args.format))
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    _normalise_matrix_defaults(args)
+    campaign = _build_campaign(args)
+    result = campaign.run()
+    print(_render(campaign, result, args.format))
+    return 0
+
+
+def cmd_clean(args: argparse.Namespace) -> int:
+    store = ResultStore(_store_path(args))
+    removed = store.clear()
+    print(f"removed {removed} cached results from {store.root}")
+    return 0
+
+
+def cmd_suites(args: argparse.Namespace) -> int:
+    for name in suite_names():
+        members = resolve_suites([name])
+        print(f"{name} ({len(members)}): {', '.join(members)}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="MuonTrap reproduction campaign harness")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser(
+        "run", help="execute a suite × scheme matrix in parallel")
+    _add_matrix_arguments(run_parser)
+    run_parser.set_defaults(func=cmd_run)
+
+    report_parser = subparsers.add_parser(
+        "report", help="render the result table for a matrix")
+    _add_matrix_arguments(report_parser)
+    report_parser.set_defaults(func=cmd_report)
+
+    clean_parser = subparsers.add_parser(
+        "clean", help="empty the result store")
+    clean_parser.add_argument("--store", default=None,
+                              help="result-store directory "
+                                   f"(default: REPRO_STORE or "
+                                   f"{DEFAULT_STORE})")
+    clean_parser.set_defaults(func=cmd_clean)
+
+    suites_parser = subparsers.add_parser(
+        "suites", help="list the known benchmark suites")
+    suites_parser.set_defaults(func=cmd_suites)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except (UnknownSuiteError, ValueError) as error:
+        # Configuration mistakes (unknown suite, malformed REPRO_* value)
+        # deserve a one-line message, not a traceback.
+        message = error.args[0] if error.args else str(error)
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

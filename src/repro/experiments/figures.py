@@ -9,7 +9,10 @@ instructions per workload (and therefore the runtime) is controlled by the
 
 The functions are deliberately small wrappers over the experiment runner so
 they can be called both from the pytest-benchmark harness (one benchmark per
-figure) and from the examples / EXPERIMENTS.md generator.
+figure) and from the examples / EXPERIMENTS.md generator.  Execution routes
+through the campaign layer (:mod:`repro.harness.campaign`): pass a runner
+built with ``jobs`` / ``store`` (or set ``REPRO_JOBS``) and the figure's run
+matrix executes on a worker pool with results persisted across invocations.
 """
 
 from __future__ import annotations
@@ -20,6 +23,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.common.params import ProtectionMode, SystemConfig
 from repro.common.statistics import geometric_mean
 from repro.core.muontrap import MuonTrapMemorySystem
+from repro.harness.report import Report
 from repro.sim.runner import (
     ExperimentRunner,
     cumulative_protection_configs,
@@ -61,20 +65,26 @@ class FigureResult:
             for label, values in self.series.items()
         }
 
+    def to_report(self) -> Report:
+        """This figure's table as a :class:`repro.harness.report.Report`."""
+        return Report(benchmarks=list(self.benchmarks),
+                      series={label: dict(values)
+                              for label, values in self.series.items()},
+                      geomeans=dict(self.geomeans),
+                      title=self.description)
+
     def rows(self) -> List[List[str]]:
         """A printable table: one row per benchmark plus the geomean."""
-        labels = list(self.series)
-        header = ["benchmark"] + labels
-        body = [[bench] + [f"{self.series[label].get(bench, 0.0):.3f}"
-                           for label in labels]
-                for bench in self.benchmarks]
-        footer = ["geomean"] + [f"{self.geomeans.get(label, 0.0):.3f}"
-                                for label in labels]
-        return [header] + body + [footer]
+        return self.to_report().rows()
 
     def format_table(self) -> str:
-        return "\n".join("  ".join(f"{cell:>18s}" for cell in row)
-                         for row in self.rows())
+        return self.to_report().to_text()
+
+    def to_markdown(self) -> str:
+        return self.to_report().to_markdown()
+
+    def to_csv(self) -> str:
+        return self.to_report().to_csv()
 
 
 def _run_mode_comparison(runner: ExperimentRunner, benchmarks: Sequence[str],

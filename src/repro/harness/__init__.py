@@ -1,0 +1,72 @@
+"""Campaign harness: suites, parallel execution, result cache, reporting.
+
+The harness layers on top of :mod:`repro.sim`:
+
+* :mod:`repro.harness.suites` — named, composable benchmark sets
+  (``spec_int``, ``spec_fp``, ``spec_all``, ``parsec``, ``mixed``, plus
+  user-registered suites);
+* :mod:`repro.harness.campaign` — expansion of suites × configurations ×
+  seeds into a run matrix, executed on a ``multiprocessing`` pool with
+  deterministic results;
+* :mod:`repro.harness.store` — a persistent JSON result store keyed by a
+  stable content hash, making repeated campaigns incremental;
+* :mod:`repro.harness.report` — text / markdown / CSV tables with
+  geometric means.
+
+The ``python -m repro`` command line (:mod:`repro.__main__`) exposes the
+harness as ``run`` / ``report`` / ``clean`` subcommands.
+"""
+
+from repro.harness.campaign import (
+    Campaign,
+    CampaignResult,
+    DEFAULT_SEED,
+    ExecutionStats,
+    RunSpec,
+    derive_seed,
+    execute_cells,
+    run_cell,
+)
+from repro.harness.report import Report
+from repro.harness.store import (
+    ResultStore,
+    config_fingerprint,
+    result_from_dict,
+    result_to_dict,
+    stable_key,
+)
+from repro.harness.suites import (
+    SPEC_FP,
+    SPEC_INT,
+    UnknownSuiteError,
+    register_suite,
+    resolve_suite,
+    resolve_suites,
+    suite_names,
+    unregister_suite,
+)
+
+__all__ = [
+    "Campaign",
+    "CampaignResult",
+    "DEFAULT_SEED",
+    "ExecutionStats",
+    "Report",
+    "ResultStore",
+    "RunSpec",
+    "SPEC_FP",
+    "SPEC_INT",
+    "UnknownSuiteError",
+    "config_fingerprint",
+    "derive_seed",
+    "execute_cells",
+    "register_suite",
+    "resolve_suite",
+    "resolve_suites",
+    "result_from_dict",
+    "result_to_dict",
+    "run_cell",
+    "stable_key",
+    "suite_names",
+    "unregister_suite",
+]

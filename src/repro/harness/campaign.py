@@ -1,0 +1,302 @@
+"""Campaign execution: a benchmark × configuration × seed run matrix.
+
+A :class:`Campaign` expands benchmark suites, labelled system
+configurations and seeds into a flat list of :class:`RunSpec` cells,
+executes them on a ``multiprocessing`` pool and collects the results.
+Three properties make campaigns practical for paper-scale sweeps:
+
+* **Parallelism** — cells are independent simulations, so they scale to
+  the machine.  The worker count comes from the ``REPRO_JOBS`` environment
+  variable (default: ``os.cpu_count()``).
+* **Determinism** — each cell's seed is a pure function of the campaign
+  seed and the replicate index, and cells never share mutable state, so a
+  parallel campaign produces byte-identical results to a sequential one.
+  Within a replicate every configuration sees the *same* workload trace
+  per benchmark, which is what lets normalised execution times isolate
+  the memory-system differences (the paper's methodology).
+* **Incrementality** — when a :class:`~repro.harness.store.ResultStore`
+  is attached, completed cells are persisted and skipped on re-runs, so
+  extending a sweep only simulates the new cells.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.common.params import SystemConfig
+from repro.common.statistics import geometric_mean
+from repro.harness.store import ResultStore, stable_key
+from repro.sim.runner import (
+    DEFAULT_WARMUP_FRACTION,
+    NormalisedSeries,
+    instructions_per_workload,
+    parallel_jobs,
+)
+from repro.sim.simulator import SimulationResult, Simulator
+from repro.sim.system import build_system
+from repro.workloads.generator import generate_workload
+from repro.workloads.profiles import WorkloadProfile, get_profile
+
+DEFAULT_SEED = 1234
+
+
+def derive_seed(base_seed: int, replicate: int) -> int:
+    """Seed of one replicate: stable, collision-free, and equal to the
+    base seed for replicate 0 so single-replicate campaigns reproduce the
+    historical :class:`~repro.sim.runner.ExperimentRunner` numbers."""
+    if replicate == 0:
+        return base_seed
+    return (base_seed + 0x9E3779B1 * replicate) & 0x7FFFFFFF
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One cell of the run matrix: a benchmark under one configuration."""
+
+    profile: WorkloadProfile
+    label: str
+    config: SystemConfig
+    instructions: int
+    seed: int
+    warmup_fraction: float = DEFAULT_WARMUP_FRACTION
+    collect_stats: bool = False
+
+    @property
+    def benchmark(self) -> str:
+        return self.profile.name
+
+    def key(self) -> str:
+        """Stable content hash (the result-store key)."""
+        return stable_key(self.profile, self.config, self.instructions,
+                          self.seed, self.warmup_fraction,
+                          self.collect_stats)
+
+
+def run_cell(spec: RunSpec) -> SimulationResult:
+    """Execute one cell from scratch (pure function of the spec)."""
+    workload = generate_workload(spec.profile, spec.instructions,
+                                 seed=spec.seed)
+    cores_needed = max(1, spec.profile.num_threads)
+    system_config = spec.config.with_cores(max(spec.config.num_cores,
+                                               cores_needed))
+    system = build_system(system_config, seed=spec.seed)
+    simulator = Simulator(system)
+    return simulator.run(workload, collect_stats=spec.collect_stats,
+                         warmup_fraction=spec.warmup_fraction)
+
+
+@dataclass
+class ExecutionStats:
+    """Where each requested cell came from."""
+
+    executed: int = 0
+    store_hits: int = 0
+    memory_hits: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.executed + self.store_hits + self.memory_hits
+
+    @property
+    def cached_fraction(self) -> float:
+        if not self.total:
+            return 0.0
+        return (self.store_hits + self.memory_hits) / self.total
+
+
+def execute_cells(specs: Sequence[RunSpec], *,
+                  jobs: Optional[int] = None,
+                  store: Optional[ResultStore] = None,
+                  cache: Optional[Dict[str, SimulationResult]] = None,
+                  stats: Optional[ExecutionStats] = None
+                  ) -> Dict[str, SimulationResult]:
+    """Execute cells, consulting the in-memory cache and result store.
+
+    Returns a mapping from cell key to result covering every spec.  Cells
+    missing from both caches run on a ``multiprocessing`` pool when
+    ``jobs > 1`` (in submission order otherwise); results land back in
+    both caches.  The output is independent of the worker count.
+    """
+    jobs = parallel_jobs(default=None) if jobs is None else max(1, jobs)
+    stats = stats if stats is not None else ExecutionStats()
+    results: Dict[str, SimulationResult] = {}
+    pending: List[Tuple[str, RunSpec]] = []
+    pending_keys: set = set()
+    for spec in specs:
+        key = spec.key()
+        if key in results or key in pending_keys:
+            continue
+        if cache is not None and key in cache:
+            results[key] = cache[key]
+            stats.memory_hits += 1
+            continue
+        if store is not None:
+            stored = store.get(key)
+            if stored is not None:
+                results[key] = stored
+                stats.store_hits += 1
+                continue
+        pending.append((key, spec))
+        pending_keys.add(key)
+
+    if pending:
+        stats.executed += len(pending)
+        todo = [spec for _, spec in pending]
+        if jobs > 1 and len(todo) > 1:
+            try:
+                context = multiprocessing.get_context("fork")
+            except ValueError:
+                context = multiprocessing.get_context()
+            with context.Pool(processes=min(jobs, len(todo))) as pool:
+                outcomes = pool.map(run_cell, todo, chunksize=1)
+        else:
+            outcomes = [run_cell(spec) for spec in todo]
+        for (key, spec), result in zip(pending, outcomes):
+            results[key] = result
+            if store is not None:
+                store.put(key, result, metadata={
+                    "benchmark": spec.benchmark,
+                    "label": spec.label,
+                    "mode": spec.config.mode.value,
+                    "instructions": spec.instructions,
+                    "seed": spec.seed,
+                })
+
+    if cache is not None:
+        cache.update(results)
+    return results
+
+
+@dataclass
+class CampaignResult:
+    """Results of one campaign run, indexed by (benchmark, label, seed)."""
+
+    benchmarks: List[str]
+    labels: List[str]
+    baseline_label: str
+    seeds: List[int]
+    runs: Dict[Tuple[str, str, int], SimulationResult]
+    stats: ExecutionStats = field(default_factory=ExecutionStats)
+
+    def result(self, benchmark: str, label: str,
+               seed: Optional[int] = None) -> SimulationResult:
+        seed = self.seeds[0] if seed is None else seed
+        return self.runs[(benchmark, label, seed)]
+
+    def normalised(self) -> Dict[str, Dict[str, float]]:
+        """label -> {benchmark -> execution time normalised to baseline}.
+
+        With several replicates the per-seed ratios are averaged; with one
+        seed this is exactly cycles / baseline cycles.
+        """
+        series: Dict[str, Dict[str, float]] = {}
+        for label in self.labels:
+            if label == self.baseline_label:
+                continue
+            values: Dict[str, float] = {}
+            for benchmark in self.benchmarks:
+                ratios = []
+                for seed in self.seeds:
+                    baseline = self.runs[(benchmark, self.baseline_label,
+                                          seed)]
+                    run = self.runs[(benchmark, label, seed)]
+                    ratios.append(run.cycles / baseline.cycles
+                                  if baseline.cycles else 0.0)
+                values[benchmark] = sum(ratios) / len(ratios)
+            series[label] = values
+        return series
+
+    def normalised_series(self) -> Dict[str, NormalisedSeries]:
+        """The same data as :class:`~repro.sim.runner.NormalisedSeries`."""
+        return {label: NormalisedSeries(label=label, values=values)
+                for label, values in self.normalised().items()}
+
+    def geomeans(self) -> Dict[str, float]:
+        return {label: geometric_mean([v for v in values.values() if v > 0])
+                for label, values in self.normalised().items()}
+
+
+class Campaign:
+    """A suite × configuration × seed matrix with an execution engine."""
+
+    def __init__(self, benchmarks: Sequence[str],
+                 configs: Mapping[str, SystemConfig],
+                 baseline_config: Optional[SystemConfig] = None,
+                 baseline_label: str = "baseline",
+                 instructions: Optional[int] = None,
+                 seed: int = DEFAULT_SEED,
+                 replicates: int = 1,
+                 warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
+                 collect_stats: bool = False,
+                 store: Optional[ResultStore] = None,
+                 jobs: Optional[int] = None) -> None:
+        if not benchmarks:
+            raise ValueError("campaign needs at least one benchmark")
+        if not configs:
+            raise ValueError("campaign needs at least one configuration")
+        if baseline_label in configs:
+            raise ValueError(
+                f"baseline label {baseline_label!r} shadows a configuration")
+        self.benchmarks = list(benchmarks)
+        self.configs = dict(configs)
+        self.baseline_config = baseline_config
+        self.baseline_label = baseline_label
+        self.instructions = instructions_per_workload(instructions)
+        self.seed = seed
+        self.replicates = max(1, replicates)
+        self.warmup_fraction = warmup_fraction
+        self.collect_stats = collect_stats
+        self.store = store
+        self.jobs = jobs
+        self._cache: Dict[str, SimulationResult] = {}
+
+    @classmethod
+    def from_suites(cls, suites: Sequence[str], *args, **kwargs) -> "Campaign":
+        """Build a campaign from suite / benchmark names (sorted, deduped)."""
+        from repro.harness.suites import resolve_suites
+        return cls(resolve_suites(suites), *args, **kwargs)
+
+    @property
+    def seeds(self) -> List[int]:
+        return [derive_seed(self.seed, replicate)
+                for replicate in range(self.replicates)]
+
+    def _series(self) -> Dict[str, SystemConfig]:
+        series = dict(self.configs)
+        if self.baseline_config is not None:
+            series[self.baseline_label] = self.baseline_config
+        return series
+
+    def cells(self) -> List[RunSpec]:
+        """The full run matrix in a deterministic order."""
+        specs: List[RunSpec] = []
+        for seed in self.seeds:
+            for benchmark in self.benchmarks:
+                profile = get_profile(benchmark)
+                for label, config in self._series().items():
+                    specs.append(RunSpec(
+                        profile=profile, label=label, config=config,
+                        instructions=self.instructions, seed=seed,
+                        warmup_fraction=self.warmup_fraction,
+                        collect_stats=self.collect_stats))
+        return specs
+
+    def run(self) -> CampaignResult:
+        """Execute the matrix (parallel, cached) and index the results."""
+        stats = ExecutionStats()
+        specs = self.cells()
+        results = execute_cells(specs, jobs=self.jobs, store=self.store,
+                                cache=self._cache, stats=stats)
+        series = self._series()
+        runs = {(spec.benchmark, spec.label, spec.seed): results[spec.key()]
+                for spec in specs}
+        labels = [label for label in series if label != self.baseline_label]
+        baseline_label = (self.baseline_label
+                          if self.baseline_config is not None
+                          else labels[0])
+        return CampaignResult(
+            benchmarks=list(self.benchmarks), labels=list(series),
+            baseline_label=baseline_label, seeds=self.seeds, runs=runs,
+            stats=stats)

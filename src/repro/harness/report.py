@@ -1,0 +1,96 @@
+"""Reporting: normalised-execution-time tables in text, markdown and CSV.
+
+The paper's figures all share one shape — benchmarks on the x-axis, one
+series per protection scheme, a geometric-mean summary — so reporting is a
+single :class:`Report` built either from a campaign result or from raw
+series dictionaries (which is how the figure reproductions use it).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.common.statistics import geometric_mean
+from repro.harness.campaign import CampaignResult
+
+GEOMEAN_ROW = "geomean"
+
+
+@dataclass
+class Report:
+    """A benchmark × series table with geometric-mean footer."""
+
+    benchmarks: List[str]
+    #: series label -> {benchmark -> value (normalised time or rate)}
+    series: Dict[str, Dict[str, float]]
+    geomeans: Dict[str, float] = field(default_factory=dict)
+    title: str = ""
+    precision: int = 3
+
+    def __post_init__(self) -> None:
+        if not self.geomeans:
+            self.geomeans = {
+                label: geometric_mean([value for value in values.values()
+                                       if value > 0])
+                for label, values in self.series.items()}
+
+    @classmethod
+    def from_campaign(cls, result: CampaignResult, title: str = "",
+                      precision: int = 3) -> "Report":
+        # Geomeans are derived from the series by __post_init__.
+        return cls(benchmarks=list(result.benchmarks),
+                   series=result.normalised(),
+                   title=title, precision=precision)
+
+    # -- table construction ---------------------------------------------------
+    @property
+    def labels(self) -> List[str]:
+        return list(self.series)
+
+    def rows(self) -> List[List[str]]:
+        """Header row, one row per benchmark, geomean footer."""
+        fmt = f"{{:.{self.precision}f}}"
+        header = ["benchmark"] + self.labels
+        body = [[benchmark] + [fmt.format(self.series[label].get(benchmark,
+                                                                 0.0))
+                               for label in self.labels]
+                for benchmark in self.benchmarks]
+        footer = [GEOMEAN_ROW] + [fmt.format(self.geomeans.get(label, 0.0))
+                                  for label in self.labels]
+        return [header] + body + [footer]
+
+    # -- renderers ------------------------------------------------------------
+    def to_text(self, column_width: int = 18) -> str:
+        """Fixed-width table (the historical ``format_table`` layout)."""
+        return "\n".join("  ".join(f"{cell:>{column_width}s}" for cell in row)
+                         for row in self.rows())
+
+    def to_markdown(self) -> str:
+        rows = self.rows()
+        lines = []
+        if self.title:
+            lines.append(f"### {self.title}")
+            lines.append("")
+        lines.append("| " + " | ".join(rows[0]) + " |")
+        lines.append("|" + "|".join([" --- "] + [" ---: "] * (
+            len(rows[0]) - 1)) + "|")
+        for row in rows[1:]:
+            lines.append("| " + " | ".join(row) + " |")
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerows(self.rows())
+        return buffer.getvalue()
+
+    def render(self, fmt: str = "text") -> str:
+        renderers = {"text": self.to_text, "markdown": self.to_markdown,
+                     "csv": self.to_csv}
+        if fmt not in renderers:
+            raise ValueError(f"unknown report format: {fmt!r} "
+                             f"(choose from {sorted(renderers)})")
+        return renderers[fmt]()

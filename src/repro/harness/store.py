@@ -1,0 +1,170 @@
+"""Persistent result store for campaign runs.
+
+Every simulation cell — one benchmark under one system configuration for a
+given instruction budget and seed — is identified by a stable content hash
+of its inputs.  Results are written as one JSON file per cell, so
+
+* re-running a campaign skips every cell whose result is already on disk,
+  making large sweeps incremental;
+* parallel workers never contend on a shared index file;
+* the store survives process restarts and can be shared between the CLI,
+  the benchmark harness and the examples.
+
+The simulator itself is deterministic, which is what makes caching by input
+hash sound: the same (profile, config, instructions, seed) always produces
+the same :class:`~repro.sim.simulator.SimulationResult`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional
+
+from repro.common.params import SystemConfig
+from repro.cpu.core import CoreResult
+from repro.sim.simulator import SimulationResult
+from repro.workloads.profiles import WorkloadProfile
+
+#: Bump when the serialised result layout changes; stale entries are ignored.
+STORE_VERSION = 1
+
+
+def _jsonable(value: Any) -> Any:
+    """Convert dataclasses / enums / paths into plain JSON-friendly values."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {field.name: _jsonable(getattr(value, field.name))
+                for field in dataclasses.fields(value)}
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    return value
+
+
+def config_fingerprint(config: SystemConfig) -> Dict[str, Any]:
+    """A canonical, JSON-serialisable view of a system configuration."""
+    return _jsonable(config)
+
+
+def stable_key(profile: WorkloadProfile, config: SystemConfig,
+               instructions: int, seed: int,
+               warmup_fraction: float = 0.0,
+               collect_stats: bool = False) -> str:
+    """Content hash identifying one simulation cell.
+
+    The hash covers everything that determines the simulation outcome — the
+    full workload profile (not just its name, so ad-hoc profiles cannot
+    collide with registry entries), the complete system configuration, the
+    instruction budget and the seed.  The display label deliberately does
+    not participate, so renaming a series does not invalidate cached
+    results.
+    """
+    payload = {
+        "profile": _jsonable(profile),
+        "config": config_fingerprint(config),
+        "instructions": instructions,
+        "seed": seed,
+        "warmup_fraction": warmup_fraction,
+        "collect_stats": collect_stats,
+        "version": STORE_VERSION,
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:24]
+
+
+def result_to_dict(result: SimulationResult) -> Dict[str, Any]:
+    return {
+        "benchmark": result.benchmark,
+        "mode": result.mode,
+        "cycles": result.cycles,
+        "instructions": result.instructions,
+        "warmup_cycles": result.warmup_cycles,
+        "stats": dict(result.stats),
+        "core_results": [_jsonable(core) for core in result.core_results],
+    }
+
+
+def result_from_dict(payload: Dict[str, Any]) -> SimulationResult:
+    return SimulationResult(
+        benchmark=payload["benchmark"],
+        mode=payload["mode"],
+        cycles=payload["cycles"],
+        instructions=payload["instructions"],
+        warmup_cycles=payload.get("warmup_cycles", 0),
+        stats=dict(payload.get("stats", {})),
+        core_results=[CoreResult(**core)
+                      for core in payload.get("core_results", [])],
+    )
+
+
+class ResultStore:
+    """A directory of per-cell JSON result files."""
+
+    def __init__(self, root: os.PathLike) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).is_file()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def keys(self) -> Iterator[str]:
+        for path in sorted(self.root.glob("*.json")):
+            yield path.stem
+
+    def get(self, key: str) -> Optional[SimulationResult]:
+        """Load a cached result, or ``None`` on miss / stale entry."""
+        path = self._path(key)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        if payload.get("version") != STORE_VERSION:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result_from_dict(payload["result"])
+
+    def put(self, key: str, result: SimulationResult,
+            metadata: Optional[Dict[str, Any]] = None) -> None:
+        """Persist one result atomically (write-then-rename)."""
+        payload = {
+            "version": STORE_VERSION,
+            "key": key,
+            "metadata": metadata or {},
+            "result": result_to_dict(result),
+        }
+        path = self._path(key)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(payload, sort_keys=True, indent=1))
+        tmp.replace(path)
+
+    def metadata(self, key: str) -> Dict[str, Any]:
+        try:
+            payload = json.loads(self._path(key).read_text())
+        except (OSError, json.JSONDecodeError):
+            return {}
+        return payload.get("metadata", {})
+
+    def clear(self) -> int:
+        """Delete every stored result; returns the number removed."""
+        removed = 0
+        for path in self.root.glob("*.json"):
+            path.unlink()
+            removed += 1
+        return removed

@@ -5,7 +5,9 @@ from repro.sim.runner import (
     ExperimentRunner,
     NormalisedSeries,
     cumulative_protection_configs,
+    env_int,
     instructions_per_workload,
+    parallel_jobs,
     standard_modes,
     unprotected_config,
 )
@@ -30,9 +32,11 @@ __all__ = [
     "build_memory_system",
     "build_system",
     "cumulative_protection_configs",
+    "env_int",
     "filter_cache_associativity_configs",
     "filter_cache_size_configs",
     "instructions_per_workload",
+    "parallel_jobs",
     "standard_modes",
     "unprotected_config",
 ]

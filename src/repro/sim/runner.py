@@ -8,32 +8,77 @@ for every mode, so the comparison isolates the memory-system differences.
 
 The number of instructions per workload is configurable; the
 ``REPRO_INSTRUCTIONS`` environment variable overrides the default so the
-benchmark harness can be scaled to the available time budget.
+benchmark harness can be scaled to the available time budget, and
+``REPRO_JOBS`` sets the worker count used when runs execute through the
+campaign layer (:mod:`repro.harness.campaign`).
 """
 
 from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, TYPE_CHECKING
 
 from repro.common.params import ProtectionConfig, ProtectionMode, SystemConfig
 from repro.common.statistics import geometric_mean
-from repro.sim.simulator import SimulationResult, Simulator
-from repro.sim.system import build_system
-from repro.workloads.generator import generate_workload
+from repro.sim.simulator import SimulationResult
 from repro.workloads.profiles import WorkloadProfile, get_profile
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid an import cycle
+    from repro.harness.store import ResultStore
 
 DEFAULT_INSTRUCTIONS = 8000
 DEFAULT_WARMUP_FRACTION = 0.35
 
 
-def instructions_per_workload(default: Optional[int] = None) -> int:
-    """Instruction sample length, overridable via ``REPRO_INSTRUCTIONS``."""
-    value = os.environ.get("REPRO_INSTRUCTIONS")
-    if value:
-        return max(500, int(value))
+def env_int(name: str, minimum: int = 1) -> Optional[int]:
+    """Read an integer environment variable, or ``None`` when unset.
+
+    A set-but-non-integer value is a configuration mistake; fail with a
+    clear message naming the variable instead of an uncaught
+    ``ValueError`` from ``int()`` deep inside the harness.
+    """
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"environment variable {name} must be an integer, "
+            f"got {raw!r}") from None
+    return max(minimum, value)
+
+
+def instructions_per_workload(explicit: Optional[int] = None,
+                              default: Optional[int] = None) -> int:
+    """Instruction sample length.
+
+    Precedence: an ``explicit`` request (a CLI flag, a constructor
+    argument) wins outright; otherwise the ``REPRO_INSTRUCTIONS``
+    environment variable; otherwise ``default`` (or the module default).
+    """
+    if explicit is not None:
+        return explicit
+    value = env_int("REPRO_INSTRUCTIONS", minimum=500)
+    if value is not None:
+        return value
     return default if default is not None else DEFAULT_INSTRUCTIONS
+
+
+def parallel_jobs(default: Optional[int] = None) -> int:
+    """Worker-pool size, overridable via ``REPRO_JOBS``.
+
+    When the variable is unset, ``default`` wins (callers that must stay
+    sequential pass ``1``); a ``default`` of ``None`` means "use every
+    core".
+    """
+    value = env_int("REPRO_JOBS", minimum=1)
+    if value is not None:
+        return value
+    if default is not None:
+        return max(1, default)
+    return os.cpu_count() or 1
 
 
 @dataclass
@@ -67,44 +112,58 @@ class NormalisedSeries:
 
 
 class ExperimentRunner:
-    """Runs benchmark × configuration matrices and normalises the results."""
+    """Runs benchmark × configuration matrices and normalises the results.
+
+    Execution routes through the campaign layer
+    (:mod:`repro.harness.campaign`): results are cached in memory by a
+    stable content hash of their inputs, optionally persisted to a
+    :class:`~repro.harness.store.ResultStore`, and
+    :meth:`normalised_series` fans the run matrix out over a worker pool
+    when ``jobs`` (or ``REPRO_JOBS``) allows more than one worker.  The
+    results are identical whatever the worker count.
+    """
 
     def __init__(self, instructions: Optional[int] = None,
                  seed: int = 1234,
-                 warmup_fraction: float = DEFAULT_WARMUP_FRACTION) -> None:
+                 warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
+                 store: Optional["ResultStore"] = None,
+                 jobs: Optional[int] = None) -> None:
         self.instructions = instructions_per_workload(instructions)
         self.seed = seed
         self.warmup_fraction = warmup_fraction
-        self._cache: Dict[tuple, SimulationResult] = {}
+        self.store = store
+        # Default to sequential unless REPRO_JOBS asks for a pool: single
+        # runs are not worth a fork, and tests stay single-process.
+        self.jobs = parallel_jobs(default=1) if jobs is None else max(1, jobs)
+        self._cache: Dict[str, SimulationResult] = {}
 
     # -- single runs -----------------------------------------------------------
     def run_benchmark(self, benchmark: str, config: SystemConfig,
                       label: Optional[str] = None,
                       collect_stats: bool = False) -> BenchmarkRun:
-        """Run one benchmark on one configuration (cached per label)."""
+        """Run one benchmark on one configuration (cached by content)."""
         profile = get_profile(benchmark)
         return self.run_profile(profile, config, label=label,
                                 collect_stats=collect_stats)
 
+    def _spec(self, profile: WorkloadProfile, config: SystemConfig,
+              label: str, collect_stats: bool):
+        from repro.harness.campaign import RunSpec
+        return RunSpec(profile=profile, label=label, config=config,
+                       instructions=self.instructions, seed=self.seed,
+                       warmup_fraction=self.warmup_fraction,
+                       collect_stats=collect_stats)
+
     def run_profile(self, profile: WorkloadProfile, config: SystemConfig,
                     label: Optional[str] = None,
                     collect_stats: bool = False) -> BenchmarkRun:
+        from repro.harness.campaign import execute_cells
         label = label or config.mode.value
-        cache_key = (profile.name, label, self.instructions, self.seed,
-                     collect_stats)
-        if cache_key not in self._cache:
-            workload = generate_workload(profile, self.instructions,
-                                         seed=self.seed)
-            cores_needed = max(1, profile.num_threads)
-            system_config = config.with_cores(max(config.num_cores,
-                                                  cores_needed))
-            system = build_system(system_config, seed=self.seed)
-            simulator = Simulator(system)
-            self._cache[cache_key] = simulator.run(
-                workload, collect_stats=collect_stats,
-                warmup_fraction=self.warmup_fraction)
+        spec = self._spec(profile, config, label, collect_stats)
+        results = execute_cells([spec], jobs=1, store=self.store,
+                                cache=self._cache)
         return BenchmarkRun(benchmark=profile.name, mode_label=label,
-                            result=self._cache[cache_key])
+                            result=results[spec.key()])
 
     # -- normalised comparisons ---------------------------------------------------
     def normalised_series(self, benchmarks: Sequence[str],
@@ -116,17 +175,33 @@ class ExperimentRunner:
 
         Returns one :class:`NormalisedSeries` per configuration label, with
         values >1 meaning slower than the unprotected baseline (the paper's
-        convention: "normalised execution time, lower is better").
+        convention: "normalised execution time, lower is better").  The
+        whole matrix is expanded up front and executed through
+        :func:`repro.harness.campaign.execute_cells`, so independent cells
+        run concurrently when more than one job is configured.
         """
+        from repro.harness.campaign import execute_cells
+        matrix = []  # (label, benchmark, spec) preserving caller order
+        for benchmark in benchmarks:
+            profile = get_profile(benchmark)
+            matrix.append((baseline_label, benchmark,
+                           self._spec(profile, baseline_config,
+                                      baseline_label, False)))
+            for label, config in configs.items():
+                matrix.append((label, benchmark,
+                               self._spec(profile, config, label, False)))
+        results = execute_cells([spec for _, _, spec in matrix],
+                                jobs=self.jobs, store=self.store,
+                                cache=self._cache)
+        cycles = {(label, benchmark): results[spec.key()].cycles
+                  for label, benchmark, spec in matrix}
         series = {label: NormalisedSeries(label=label) for label in configs}
         for benchmark in benchmarks:
-            baseline = self.run_benchmark(benchmark, baseline_config,
-                                          label=baseline_label)
-            for label, config in configs.items():
-                run = self.run_benchmark(benchmark, config, label=label)
+            baseline_cycles = cycles[(baseline_label, benchmark)]
+            for label in configs:
                 series[label].values[benchmark] = (
-                    run.result.cycles / baseline.result.cycles
-                    if baseline.result.cycles else 0.0)
+                    cycles[(label, benchmark)] / baseline_cycles
+                    if baseline_cycles else 0.0)
         return series
 
     def clear_cache(self) -> None:

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import replace
 from typing import Dict, List, Sequence
 
@@ -31,8 +32,24 @@ def filter_cache_associativity_configs(associativities: Sequence[int],
     """Figure 6: 2 KiB filter caches from direct mapped to fully associative."""
     configs: Dict[int, SystemConfig] = {}
     max_ways = size_bytes // 64
-    for ways in associativities:
-        ways = min(ways, max_ways)
+    for requested in associativities:
+        ways = min(requested, max_ways)
+        if ways != requested:
+            if ways in configs:
+                # Clamping already produced this design point; silently
+                # overwriting would collapse distinct requested sweep
+                # points into one dict key.
+                warnings.warn(
+                    f"associativity {requested} exceeds the {max_ways} "
+                    f"lines of a {size_bytes}-byte filter cache and "
+                    f"duplicates the {ways}-way point; skipping",
+                    stacklevel=2)
+                continue
+            warnings.warn(
+                f"associativity {requested} exceeds the {max_ways} lines "
+                f"of a {size_bytes}-byte filter cache; clamping to "
+                f"{ways}-way (fully associative)",
+                stacklevel=2)
         filter_config = FilterCacheConfig(size_bytes=size_bytes,
                                           associativity=ways)
         configs[ways] = SystemConfig(

@@ -1,0 +1,107 @@
+"""Tests for the persistent result store."""
+
+import dataclasses
+import json
+
+from repro.common.params import ProtectionMode, SystemConfig
+from repro.cpu.core import CoreResult
+from repro.harness.store import (
+    ResultStore,
+    result_from_dict,
+    result_to_dict,
+    stable_key,
+)
+from repro.sim.simulator import SimulationResult
+from repro.workloads.profiles import get_profile
+
+
+def make_result(cycles=12345) -> SimulationResult:
+    return SimulationResult(
+        benchmark="hmmer", mode="muontrap", cycles=cycles,
+        instructions=2000, warmup_cycles=321,
+        stats={"l1_hits": 99, "fcache_hits": 42},
+        core_results=[CoreResult(core_id=0, committed_instructions=2000,
+                                 cycles=cycles, committed_loads=600,
+                                 committed_stores=200,
+                                 committed_branches=150, mispredictions=9,
+                                 squashed_accesses=4, nack_retries=1)])
+
+
+class TestStableKey:
+    def test_same_inputs_same_key(self):
+        profile = get_profile("hmmer")
+        config = SystemConfig(mode=ProtectionMode.MUONTRAP)
+        assert (stable_key(profile, config, 2000, 1234)
+                == stable_key(profile, config, 2000, 1234))
+
+    def test_any_input_change_changes_key(self):
+        profile = get_profile("hmmer")
+        config = SystemConfig(mode=ProtectionMode.MUONTRAP)
+        base = stable_key(profile, config, 2000, 1234)
+        assert stable_key(get_profile("mcf"), config, 2000, 1234) != base
+        assert stable_key(profile, config.with_mode(
+            ProtectionMode.UNPROTECTED), 2000, 1234) != base
+        assert stable_key(profile, config, 2001, 1234) != base
+        assert stable_key(profile, config, 2000, 1235) != base
+        assert stable_key(profile, config, 2000, 1234,
+                          warmup_fraction=0.5) != base
+
+    def test_profile_content_not_just_name_participates(self):
+        profile = get_profile("hmmer")
+        tweaked = dataclasses.replace(profile, hot_set_bytes=1024)
+        config = SystemConfig(mode=ProtectionMode.MUONTRAP)
+        assert (stable_key(profile, config, 2000, 1234)
+                != stable_key(tweaked, config, 2000, 1234))
+
+
+class TestRoundTrip:
+    def test_result_survives_serialisation(self):
+        result = make_result()
+        clone = result_from_dict(json.loads(json.dumps(
+            result_to_dict(result))))
+        assert clone == result
+
+    def test_store_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path / "results")
+        result = make_result()
+        store.put("abc123", result, metadata={"label": "MuonTrap"})
+        assert "abc123" in store
+        assert store.get("abc123") == result
+        assert store.metadata("abc123") == {"label": "MuonTrap"}
+        assert list(store.keys()) == ["abc123"]
+
+    def test_miss_returns_none_and_counts(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.get("nothere") is None
+        assert store.misses == 1
+        assert store.hits == 0
+
+    def test_hit_counts(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("k", make_result())
+        store.get("k")
+        store.get("k")
+        assert store.hits == 2
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        (tmp_path / "bad.json").write_text("{not json")
+        assert store.get("bad") is None
+
+    def test_stale_version_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("k", make_result())
+        path = tmp_path / "k.json"
+        payload = json.loads(path.read_text())
+        payload["version"] = -1
+        path.write_text(json.dumps(payload))
+        assert store.get("k") is None
+
+    def test_clear_empties_store(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("a", make_result())
+        store.put("b", make_result(cycles=777))
+        assert len(store) == 2
+        assert store.clear() == 2
+        assert len(store) == 0
+        assert store.get("a") is None

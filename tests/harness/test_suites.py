@@ -1,0 +1,78 @@
+"""Tests for named benchmark-suite resolution."""
+
+import pytest
+
+from repro.harness.suites import (
+    SPEC_FP,
+    SPEC_INT,
+    UnknownSuiteError,
+    register_suite,
+    resolve_suite,
+    resolve_suites,
+    suite_names,
+    unregister_suite,
+)
+from repro.workloads.profiles import PARSEC_PROFILES, SPEC2006_PROFILES
+
+
+class TestBuiltinSuites:
+    def test_spec_split_covers_all_26_workloads(self):
+        assert sorted(SPEC_INT + SPEC_FP) == sorted(SPEC2006_PROFILES)
+        assert not set(SPEC_INT) & set(SPEC_FP)
+
+    def test_spec_all_and_parsec(self):
+        assert resolve_suite("spec_all") == sorted(SPEC2006_PROFILES)
+        assert resolve_suite("parsec") == sorted(PARSEC_PROFILES)
+        assert resolve_suite("mixed") == sorted(
+            list(SPEC2006_PROFILES) + list(PARSEC_PROFILES))
+
+    def test_resolution_is_sorted(self):
+        resolved = resolve_suite("spec_int")
+        assert resolved == sorted(resolved)
+
+    def test_builtin_names_listed(self):
+        names = suite_names()
+        for name in ("spec_int", "spec_fp", "spec_all", "parsec", "mixed"):
+            assert name in names
+
+
+class TestComposition:
+    def test_suites_and_benchmarks_mix_with_dedup(self):
+        resolved = resolve_suites(["spec_int", "mcf", "hmmer", "spec_int"])
+        assert resolved == sorted(set(SPEC_INT) | {"hmmer"})
+        assert resolved.count("mcf") == 1
+
+    def test_single_benchmark_is_a_suite(self):
+        assert resolve_suite("lbm") == ["lbm"]
+
+    def test_unknown_name_raises_with_suite_list(self):
+        with pytest.raises(UnknownSuiteError, match="no_such_suite"):
+            resolve_suites(["spec_int", "no_such_suite"])
+        with pytest.raises(UnknownSuiteError, match="spec_int"):
+            resolve_suite("perlbench")  # not among the paper's 26
+
+
+class TestUserSuites:
+    def test_register_resolves_members_eagerly(self):
+        try:
+            members = register_suite("pointer_chasers",
+                                     ["mcf", "omnetpp", "astar", "mcf"])
+            assert members == ["astar", "mcf", "omnetpp"]
+            assert resolve_suite("pointer_chasers") == members
+            assert "pointer_chasers" in suite_names()
+        finally:
+            unregister_suite("pointer_chasers")
+        with pytest.raises(UnknownSuiteError):
+            resolve_suite("pointer_chasers")
+
+    def test_suites_compose(self):
+        try:
+            register_suite("everything", ["spec_all", "parsec"])
+            assert resolve_suite("everything") == resolve_suite("mixed")
+        finally:
+            unregister_suite("everything")
+
+    def test_register_rejects_unknown_members(self):
+        with pytest.raises(UnknownSuiteError):
+            register_suite("broken", ["mcf", "not_a_benchmark"])
+        assert "broken" not in suite_names()
