@@ -1,0 +1,210 @@
+#!/usr/bin/env python
+"""Hot-path engine throughput benchmark (the CI perf-smoke gate).
+
+Runs a fixed workload (default: 200k instructions of ``mcf``) through every
+protection scheme on both engines:
+
+* **packed** — the production path: cached trace generation plus the
+  zero-allocation ``run_packed`` loop;
+* **legacy** — the pre-overhaul shape of the engine: fresh trace generation
+  for every cell plus the per-op ``execute_op`` loop.
+
+and reports ops/sec per scheme plus the end-to-end speedup.  Results are
+written to ``BENCH_hotpath.json``.
+
+``--check`` compares against a checked-in baseline
+(``benchmarks/baseline_hotpath.json``) and exits non-zero when the engine
+regresses.  The gating metric is the packed/legacy *speedup ratio*, which is
+stable across machines; absolute ops/sec numbers vary with the host CPU, so
+they are reported but compared only against the floor implied by the same
+tolerance applied to the measured speedup.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --check
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --instructions 50000
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.common.params import ProtectionMode, SystemConfig  # noqa: E402
+from repro.sim.simulator import Simulator  # noqa: E402
+from repro.sim.system import build_system  # noqa: E402
+from repro.workloads.generator import (  # noqa: E402
+    TraceGenerator,
+    generate_workload,
+)
+from repro.workloads.profiles import get_profile  # noqa: E402
+
+#: The five schemes of the acceptance matrix (Figures 3 and 4).
+SCHEMES = [
+    ProtectionMode.UNPROTECTED,
+    ProtectionMode.INSECURE_L0,
+    ProtectionMode.MUONTRAP,
+    ProtectionMode.INVISISPEC_SPECTRE,
+    ProtectionMode.STT_SPECTRE,
+]
+
+DEFAULT_BENCHMARK = "mcf"
+DEFAULT_INSTRUCTIONS = 200_000
+DEFAULT_SEED = 1234
+#: Allowed throughput regression before --check fails.
+REGRESSION_TOLERANCE = 0.20
+
+
+def _run_packed(profile, mode: ProtectionMode, instructions: int,
+                seed: int) -> tuple:
+    """One production-path cell: cached generation + packed engine."""
+    config = SystemConfig(mode=mode).with_cores(max(1, profile.num_threads))
+    started = time.perf_counter()
+    workload = generate_workload(profile, instructions, seed=seed)
+    simulator = Simulator(build_system(config, seed=seed), use_packed=True)
+    result = simulator.run(workload, warmup_fraction=0.35)
+    return time.perf_counter() - started, result
+
+
+def _run_legacy(profile, mode: ProtectionMode, instructions: int,
+                seed: int) -> tuple:
+    """One pre-overhaul-shaped cell: fresh generation + per-op engine."""
+    config = SystemConfig(mode=mode).with_cores(max(1, profile.num_threads))
+    started = time.perf_counter()
+    workload = TraceGenerator(profile, seed=seed).generate(instructions)
+    simulator = Simulator(build_system(config, seed=seed), use_packed=False)
+    result = simulator.run(workload, warmup_fraction=0.35)
+    return time.perf_counter() - started, result
+
+
+def run_benchmark(benchmark: str, instructions: int, seed: int,
+                  skip_legacy: bool = False) -> dict:
+    profile = get_profile(benchmark)
+    # Every instruction of every thread is simulated (warmup included), so
+    # throughput is reported over the full executed stream.
+    executed = instructions * max(1, profile.num_threads)
+    schemes = {}
+    total_packed = 0.0
+    total_legacy = 0.0
+    for mode in SCHEMES:
+        packed_wall, packed_result = _run_packed(profile, mode, instructions,
+                                                 seed)
+        entry = {
+            "wall_seconds": round(packed_wall, 4),
+            "ops_per_sec": round(executed / packed_wall, 1),
+            "cycles": packed_result.cycles,
+        }
+        total_packed += packed_wall
+        if not skip_legacy:
+            legacy_wall, legacy_result = _run_legacy(profile, mode,
+                                                     instructions, seed)
+            if (legacy_result.cycles, legacy_result.instructions) != (
+                    packed_result.cycles, packed_result.instructions):
+                raise AssertionError(
+                    f"engine divergence under {mode.value}: "
+                    f"packed {packed_result.cycles} cycles vs "
+                    f"legacy {legacy_result.cycles}")
+            entry["legacy_wall_seconds"] = round(legacy_wall, 4)
+            entry["legacy_ops_per_sec"] = round(executed / legacy_wall, 1)
+            entry["speedup"] = round(legacy_wall / packed_wall, 3)
+            total_legacy += legacy_wall
+        schemes[mode.value] = entry
+        line = (f"  {mode.value:20s} {entry['ops_per_sec']:>10.0f} ops/s"
+                f"  ({packed_wall:.2f}s)")
+        if not skip_legacy:
+            line += (f"   legacy {entry['legacy_ops_per_sec']:>9.0f} ops/s"
+                     f"  speedup {entry['speedup']:.2f}x")
+        print(line)
+    payload = {
+        "benchmark": benchmark,
+        "instructions": instructions,
+        "seed": seed,
+        "schemes": schemes,
+        "total_packed_seconds": round(total_packed, 3),
+    }
+    if not skip_legacy:
+        payload["total_legacy_seconds"] = round(total_legacy, 3)
+        payload["end_to_end_speedup"] = round(total_legacy / total_packed, 3)
+        print(f"  {'end-to-end':20s} packed {total_packed:.2f}s vs "
+              f"legacy {total_legacy:.2f}s -> "
+              f"{payload['end_to_end_speedup']:.2f}x")
+    return payload
+
+
+def check_against_baseline(payload: dict, baseline_path: Path) -> int:
+    baseline = json.loads(baseline_path.read_text())
+    failures = []
+    measured = payload.get("end_to_end_speedup")
+    expected = baseline.get("end_to_end_speedup")
+    if measured is None:
+        failures.append("--check requires the legacy comparison "
+                        "(do not combine with --no-legacy)")
+    elif expected is not None:
+        floor = expected * (1.0 - REGRESSION_TOLERANCE)
+        print(f"check: end-to-end speedup {measured:.2f}x "
+              f"(baseline {expected:.2f}x, floor {floor:.2f}x)")
+        if measured < floor:
+            failures.append(
+                f"end-to-end speedup regressed: {measured:.2f}x < "
+                f"floor {floor:.2f}x (baseline {expected:.2f}x)")
+    # Per-scheme ratios are noisier than the aggregate (short runs, shared
+    # CI hosts), so scheme-level drops warn rather than fail; the gate is
+    # the end-to-end speedup above.
+    for mode, entry in baseline.get("schemes", {}).items():
+        baseline_speedup = entry.get("speedup")
+        current = payload["schemes"].get(mode, {}).get("speedup")
+        if baseline_speedup is None or current is None:
+            continue
+        floor = baseline_speedup * (1.0 - REGRESSION_TOLERANCE)
+        if current < floor:
+            print(f"warning: {mode}: speedup {current:.2f}x below "
+                  f"floor {floor:.2f}x (baseline {baseline_speedup:.2f}x)",
+                  file=sys.stderr)
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("check: OK (no regression beyond "
+          f"{REGRESSION_TOLERANCE:.0%} tolerance)")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--benchmark", default=DEFAULT_BENCHMARK)
+    parser.add_argument("--instructions", type=int,
+                        default=DEFAULT_INSTRUCTIONS)
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument("--no-legacy", action="store_true",
+                        help="skip the legacy-engine comparison runs")
+    parser.add_argument("--check", action="store_true",
+                        help="fail when throughput regresses more than "
+                             f"{REGRESSION_TOLERANCE:.0%} against the "
+                             "baseline")
+    parser.add_argument("--baseline",
+                        default=str(Path(__file__).parent
+                                    / "baseline_hotpath.json"))
+    parser.add_argument("--output", default="BENCH_hotpath.json")
+    args = parser.parse_args(argv)
+
+    print(f"hot-path benchmark: {args.benchmark}, "
+          f"{args.instructions} instructions, seed {args.seed}")
+    payload = run_benchmark(args.benchmark, args.instructions, args.seed,
+                            skip_legacy=args.no_legacy)
+    Path(args.output).write_text(json.dumps(payload, indent=2,
+                                            sort_keys=True) + "\n")
+    print(f"wrote {args.output}")
+    if args.check:
+        return check_against_baseline(payload, Path(args.baseline))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -130,10 +130,32 @@ def _render(campaign: Campaign, result, fmt: str) -> str:
     return Report.from_campaign(result, title=title).render(fmt)
 
 
+def _run_profiled(campaign: Campaign):
+    """Run the campaign under cProfile and print the top-25 hot spots.
+
+    Profiling forces ``jobs=1``: the interesting work otherwise happens in
+    forked pool workers the profiler cannot see.
+    """
+    import cProfile
+    import pstats
+
+    campaign.jobs = 1
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = campaign.run()
+    profiler.disable()
+    stats = pstats.Stats(profiler, stream=sys.stderr)
+    stats.sort_stats("cumulative").print_stats(25)
+    return result
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     _normalise_matrix_defaults(args)
     campaign = _build_campaign(args)
-    result = campaign.run()
+    if args.profile:
+        result = _run_profiled(campaign)
+    else:
+        result = campaign.run()
     stats = result.stats
     print(f"benchmarks: {', '.join(campaign.benchmarks)}")
     print(f"schemes:    {', '.join(campaign.configs)} "
@@ -180,6 +202,10 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser = subparsers.add_parser(
         "run", help="execute a suite × scheme matrix in parallel")
     _add_matrix_arguments(run_parser)
+    run_parser.add_argument(
+        "--profile", action="store_true",
+        help="run under cProfile (forces --jobs 1) and print the top-25 "
+             "functions by cumulative time to stderr")
     run_parser.set_defaults(func=cmd_run)
 
     report_parser = subparsers.add_parser(

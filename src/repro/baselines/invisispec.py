@@ -91,8 +91,8 @@ class InvisiSpecMemorySystem(MemorySystem):
                    instruction: bool) -> Tuple[Optional[int], int]:
         space = self.page_tables.address_space(process_id)
         mmu = self._mmus[core_id][1 if instruction else 0]
-        result = mmu.translate(space, virtual_address, speculative=False)
-        return result.physical_address, result.latency
+        return mmu.translate_address(space, virtual_address,
+                                     speculative=False)
 
     # -- execute-time -----------------------------------------------------------
     def load(self, core_id: int, process_id: int, virtual_address: int,
@@ -229,6 +229,10 @@ class InvisiSpecMemorySystem(MemorySystem):
 
     def sandbox_entry(self, core_id: int, now: int) -> None:
         self._domains[core_id].sandbox_entry(sandbox_id=1)
+
+    def drain(self, core_id: int, now: int) -> None:
+        """End of run: deliver prefetcher-training events still buffered."""
+        self.hierarchy.flush_speculative_training(now)
 
     # -- introspection ---------------------------------------------------------------------
     def speculative_buffer_contains(self, core_id: int,

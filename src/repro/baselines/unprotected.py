@@ -69,8 +69,8 @@ class UnprotectedMemorySystem(MemorySystem):
         core = self._cores[core_id]
         space = self.page_tables.address_space(process_id)
         mmu = core.inst_mmu if instruction else core.data_mmu
-        result = mmu.translate(space, virtual_address, speculative=False)
-        return result.physical_address, result.latency
+        return mmu.translate_address(space, virtual_address,
+                                     speculative=False)
 
     # -- execute-time ----------------------------------------------------------
     def load(self, core_id: int, process_id: int, virtual_address: int,
@@ -146,3 +146,7 @@ class UnprotectedMemorySystem(MemorySystem):
 
     def sandbox_entry(self, core_id: int, now: int) -> None:
         self._cores[core_id].domains.sandbox_entry(sandbox_id=1)
+
+    def drain(self, core_id: int, now: int) -> None:
+        """End of run: deliver prefetcher-training events still buffered."""
+        self.hierarchy.flush_speculative_training(now)

@@ -30,6 +30,11 @@ class SetAssociativeCache:
         self.line_size = config.line_size
         self.num_sets = config.num_sets
         self.associativity = config.associativity
+        if self.line_size <= 0 or self.line_size & (self.line_size - 1):
+            raise ValueError("line size must be a power of two")
+        # Precomputed address arithmetic for the hot lookup path.
+        self._offset_mask = -self.line_size          # == ~(line_size - 1)
+        self._line_shift = self.line_size.bit_length() - 1
         rng = rng or DeterministicRng(0)
         self._policy = make_replacement_policy(
             config.replacement, config.associativity, rng)
@@ -37,6 +42,13 @@ class SetAssociativeCache:
             [CacheLine() for _ in range(self.associativity)]
             for _ in range(self.num_sets)
         ]
+        # Tag index: line address -> (set index, way) of the line installed
+        # by the last fill of that address.  Entries are verified against
+        # the line before use (fills and invalidations may leave them
+        # stale), so lookups stay exact while running in O(1) instead of
+        # scanning the set.  An address can be indexed at most once: fills
+        # are the only operation that makes a line valid, and they re-index.
+        self._tag_index: dict = {}
         self.mshrs = MSHRFile(config.mshrs)
         stats = stats or StatGroup(config.name)
         self.stats = stats
@@ -50,10 +62,10 @@ class SetAssociativeCache:
 
     # -- address helpers ---------------------------------------------------
     def line_address(self, address: int) -> int:
-        return block_align(address, self.line_size)
+        return address & self._offset_mask
 
     def set_index_of(self, address: int) -> int:
-        return (self.line_address(address) // self.line_size) % self.num_sets
+        return (address >> self._line_shift) % self.num_sets
 
     def _set_for(self, address: int) -> List[CacheLine]:
         return self._sets[self.set_index_of(address)]
@@ -62,15 +74,18 @@ class SetAssociativeCache:
     def lookup(self, address: int, now: int = 0,
                update_replacement: bool = True) -> Optional[CacheLine]:
         """Return the valid line holding ``address``, or None on a miss."""
-        line_addr = self.line_address(address)
-        cache_set = self._set_for(address)
-        for way, line in enumerate(cache_set):
-            if line.valid and line.address == line_addr:
-                if update_replacement:
-                    line.touch(now)
-                    self._policy.on_access(self.set_index_of(address), way, now)
-                return line
-        return None
+        line_addr = address & self._offset_mask
+        slot = self._tag_index.get(line_addr)
+        if slot is None:
+            return None
+        set_idx, way = slot
+        line = self._sets[set_idx][way]
+        if line.address != line_addr or line.state is I:
+            return None
+        if update_replacement:
+            line.last_use = now
+            self._policy.on_access(set_idx, way, now)
+        return line
 
     def probe(self, address: int) -> Optional[CacheLine]:
         """Lookup without disturbing replacement state (used by snoops)."""
@@ -105,14 +120,15 @@ class SetAssociativeCache:
         # Prefer an invalid way before consulting the replacement policy.
         victim_way = None
         for way, line in enumerate(cache_set):
-            if not line.valid:
+            if line.state is I:
                 victim_way = way
                 break
         if victim_way is None:
             victim_way = self._policy.victim(set_idx, cache_set)
         victim_line = cache_set[victim_way]
         victim_copy: Optional[CacheLine] = None
-        if victim_line.valid:
+        old_address = victim_line.address
+        if victim_line.state is not I:
             victim_copy = CacheLine(
                 address=victim_line.address, state=victim_line.state,
                 dirty=victim_line.dirty, last_use=victim_line.last_use,
@@ -126,6 +142,9 @@ class SetAssociativeCache:
                 self._writebacks.increment()
                 if writeback_handler is not None:
                     writeback_handler(victim_copy)
+        if self._tag_index.get(old_address) == (set_idx, victim_way):
+            del self._tag_index[old_address]
+        self._tag_index[line_addr] = (set_idx, victim_way)
         victim_line.address = line_addr
         victim_line.state = state
         victim_line.dirty = dirty

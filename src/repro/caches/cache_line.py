@@ -16,7 +16,7 @@ from typing import Optional
 from repro.coherence.states import CoherenceState, I
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheLine:
     """Metadata for a single cache line (the data payload is not modelled)."""
 

@@ -40,7 +40,7 @@ from repro.prefetch.commit_channel import (
 from repro.prefetch.stream import StreamPrefetcher
 
 
-@dataclass
+@dataclass(slots=True)
 class HierarchyResult:
     """Outcome of one request against the non-speculative hierarchy."""
 
@@ -157,6 +157,26 @@ class NonSpeculativeHierarchy:
         delivered = self._speculative_train_buffer.pop(index)
         for line in self.l2_prefetcher.train(delivered):
             self._install_prefetch(line, delivered.cycle)
+
+    def flush_speculative_training(self, now: int) -> int:
+        """Deliver every still-buffered training event (end of run).
+
+        The reorder window above holds back the last few events; without an
+        explicit flush they would silently never reach the prefetcher,
+        leaving training behaviour dependent on where the run happens to
+        stop.  The simulator drains this via
+        :meth:`repro.cpu.interface.MemorySystem.drain`; remaining events are
+        delivered in order, stamped with their original cycles.  Returns the
+        number of events delivered.
+        """
+        delivered = 0
+        buffer = self._speculative_train_buffer
+        while buffer:
+            event = buffer.pop(0)
+            for line in self.l2_prefetcher.train(event):
+                self._install_prefetch(line, event.cycle)
+            delivered += 1
+        return delivered
 
     def notify_commit_prefetch(self, line_address: int, pc: int, level: str,
                                now: int) -> None:

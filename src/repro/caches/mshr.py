@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 
-@dataclass
+@dataclass(slots=True)
 class MSHREntry:
     """One outstanding miss."""
 
@@ -34,12 +34,20 @@ class MSHRFile:
         self._entries: Dict[int, MSHREntry] = {}
         self.full_stalls = 0
         self.merges = 0
+        # Lower bound on the earliest ready_time of any outstanding entry;
+        # lets _expire skip the scan entirely when nothing can have retired.
+        self._min_ready = 0
 
     def _expire(self, now: int) -> None:
-        finished = [addr for addr, entry in self._entries.items()
+        entries = self._entries
+        if not entries or now < self._min_ready:
+            return
+        finished = [addr for addr, entry in entries.items()
                     if entry.ready_time <= now]
         for addr in finished:
-            del self._entries[addr]
+            del entries[addr]
+        self._min_ready = min(
+            (entry.ready_time for entry in entries.values()), default=0)
 
     def lookup(self, line_address: int, now: int) -> Optional[MSHREntry]:
         """Return the in-flight entry for this line, if any."""
@@ -75,6 +83,8 @@ class MSHRFile:
                 del self._entries[earliest_addr]
         entry = MSHREntry(line_address=line_address, issue_time=issue_time,
                           ready_time=issue_time + fill_latency)
+        if not self._entries or entry.ready_time < self._min_ready:
+            self._min_ready = entry.ready_time
         self._entries[line_address] = entry
         return entry
 

@@ -24,7 +24,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance, typing only
     from repro.caches.base_cache import SetAssociativeCache
 
 
-@dataclass
+@dataclass(slots=True)
 class AccessOutcome:
     """Result of one request against the non-speculative hierarchy."""
 

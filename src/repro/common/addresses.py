@@ -20,23 +20,27 @@ def is_power_of_two(value: int) -> bool:
     return value > 0 and (value & (value - 1)) == 0
 
 
+# The three block helpers below sit on every cache/TLB access path, so the
+# power-of-two validation is inlined rather than delegated to
+# ``is_power_of_two`` (a function call per address would dominate them).
+
 def block_align(address: int, block_size: int = DEFAULT_LINE_SIZE) -> int:
     """Round ``address`` down to the start of its block."""
-    if not is_power_of_two(block_size):
+    if block_size <= 0 or block_size & (block_size - 1):
         raise ValueError("block size must be a power of two")
-    return address & ~(block_size - 1)
+    return address & -block_size
 
 
 def block_offset(address: int, block_size: int = DEFAULT_LINE_SIZE) -> int:
     """Offset of ``address`` within its block."""
-    if not is_power_of_two(block_size):
+    if block_size <= 0 or block_size & (block_size - 1):
         raise ValueError("block size must be a power of two")
     return address & (block_size - 1)
 
 
 def block_number(address: int, block_size: int = DEFAULT_LINE_SIZE) -> int:
     """Index of the block containing ``address``."""
-    if not is_power_of_two(block_size):
+    if block_size <= 0 or block_size & (block_size - 1):
         raise ValueError("block size must be a power of two")
     return address >> block_size.bit_length() - 1
 

@@ -8,12 +8,14 @@ stats framework in the original evaluation.
 
 from __future__ import annotations
 
-from collections import defaultdict
+from types import MappingProxyType
 from typing import Dict, Iterator, List, Mapping, Optional, Tuple
 
 
 class Counter:
     """A monotonically increasing integer statistic."""
+
+    __slots__ = ("name", "description", "value")
 
     def __init__(self, name: str, description: str = "") -> None:
         self.name = name
@@ -22,6 +24,11 @@ class Counter:
 
     def increment(self, amount: int = 1) -> None:
         self.value += amount
+
+    #: Batched update: hot loops (the packed-trace core engine) accumulate
+    #: counts in plain local integers and fold them in with one call; an
+    #: explicit alias of :meth:`increment` naming that pattern.
+    add = increment
 
     def reset(self) -> None:
         self.value = 0
@@ -36,12 +43,12 @@ class Histogram:
     def __init__(self, name: str, description: str = "") -> None:
         self.name = name
         self.description = description
-        self._buckets: Dict[int, int] = defaultdict(int)
+        self._buckets: Dict[int, int] = {}
         self._count = 0
         self._total = 0
 
     def sample(self, value: int, weight: int = 1) -> None:
-        self._buckets[value] += weight
+        self._buckets[value] = self._buckets.get(value, 0) + weight
         self._count += weight
         self._total += value * weight
 
@@ -58,7 +65,13 @@ class Histogram:
         return self._total / self._count if self._count else 0.0
 
     def buckets(self) -> Mapping[int, int]:
-        return dict(self._buckets)
+        """A read-only live view of the bucket contents.
+
+        Returning a :class:`MappingProxyType` instead of a fresh dict copy
+        keeps repeated reporting calls allocation-free; callers that need a
+        snapshot can ``dict()`` it themselves.
+        """
+        return MappingProxyType(self._buckets)
 
     def reset(self) -> None:
         self._buckets.clear()

@@ -34,7 +34,7 @@ from repro.common.params import FilterCacheConfig
 from repro.common.statistics import StatGroup
 
 
-@dataclass
+@dataclass(slots=True)
 class FilterLookupResult:
     """Outcome of a CPU-side filter-cache lookup."""
 
@@ -55,6 +55,10 @@ class SpeculativeFilterCache:
         self.num_sets = self.config.num_sets
         self.associativity = min(self.config.associativity,
                                  self.config.num_lines)
+        if self.line_size <= 0 or self.line_size & (self.line_size - 1):
+            raise ValueError("line size must be a power of two")
+        self._offset_mask = -self.line_size          # == ~(line_size - 1)
+        self._line_shift = self.line_size.bit_length() - 1
         self._sets: List[List[CacheLine]] = [
             [CacheLine() for _ in range(self.associativity)]
             for _ in range(self.num_sets)
@@ -64,6 +68,14 @@ class SpeculativeFilterCache:
         self._valid_bits: List[List[bool]] = [
             [False] * self.associativity for _ in range(self.num_sets)
         ]
+        # Physical-tag index: physical line address -> (set, way) of the
+        # line installed by the last fill.  Verified before use (flushes and
+        # invalidations leave stale entries behind), turning the
+        # all-set snoop scan of probe_physical into an O(1) lookup.  Fills
+        # are the only operation that sets a valid bit, and at most one
+        # resident line can hold a given physical address (fills evict
+        # aliases first), so the verified index is exact.
+        self._physical_index: dict = {}
         self.mshrs = MSHRFile(self.config.mshrs)
         stats = stats or StatGroup(name)
         self.stats = stats
@@ -81,29 +93,36 @@ class SpeculativeFilterCache:
 
     # -- indexing -------------------------------------------------------------
     def line_address(self, address: int) -> int:
-        return block_align(address, self.line_size)
+        return address & self._offset_mask
 
     def _set_index(self, address: int) -> int:
-        return (self.line_address(address) // self.line_size) % self.num_sets
+        return (address >> self._line_shift) % self.num_sets
 
     def _iter_valid(self, set_index: int):
+        valid = self._valid_bits[set_index]
+        lines = self._sets[set_index]
         for way in range(self.associativity):
-            if self._valid_bits[set_index][way]:
-                yield way, self._sets[set_index][way]
+            if valid[way]:
+                yield way, lines[way]
 
     # -- CPU-side lookup (virtually indexed) -------------------------------------
     def lookup(self, virtual_address: int, now: int = 0,
                process_id: Optional[int] = None) -> FilterLookupResult:
         """Look the cache up by virtual address from the CPU side."""
-        virtual_line = self.line_address(virtual_address)
-        set_index = self._set_index(virtual_address)
-        for way, line in self._iter_valid(set_index):
+        virtual_line = virtual_address & self._offset_mask
+        set_index = (virtual_address >> self._line_shift) % self.num_sets
+        valid = self._valid_bits[set_index]
+        lines = self._sets[set_index]
+        for way in range(self.associativity):
+            if not valid[way]:
+                continue
+            line = lines[way]
             if line.virtual_tag != virtual_line:
                 continue
             if process_id is not None and line.owner_process not in (
                     None, process_id):
                 continue
-            line.touch(now)
+            line.last_use = now
             self._hits.increment()
             return FilterLookupResult(hit=True,
                                       latency=self.config.hit_latency,
@@ -116,27 +135,35 @@ class SpeculativeFilterCache:
         """Find a line by physical address (coherence snoops, aliasing).
 
         Lines are placed by their *virtual* set index (the cache is
-        virtually indexed from the CPU side).  With 4 KiB pages and a 2 KiB
-        cache the index bits are shared between the virtual and physical
-        address, so the physical set index normally matches; scanning every
-        set keeps snoops correct even for configurations (or synthetic page
-        mappings) where it does not.
+        virtually indexed from the CPU side), so a physical probe cannot
+        recompute the set from the address; the verified physical-tag index
+        answers in O(1) what a scan of every set would.
         """
-        physical_line = self.line_address(physical_address)
-        for set_index in range(self.num_sets):
-            for way, line in self._iter_valid(set_index):
-                if line.address == physical_line:
-                    return line
-        return None
+        physical_line = physical_address & self._offset_mask
+        slot = self._physical_index.get(physical_line)
+        if slot is None:
+            return None
+        set_index, way = slot
+        if not self._valid_bits[set_index][way]:
+            return None
+        line = self._sets[set_index][way]
+        if line.address != physical_line:
+            return None
+        return line
 
     def contains_physical(self, physical_address: int) -> bool:
         return self.probe_physical(physical_address) is not None
 
     def contains_virtual(self, virtual_address: int,
                          process_id: Optional[int] = None) -> bool:
-        virtual_line = self.line_address(virtual_address)
-        set_index = self._set_index(virtual_address)
-        for way, line in self._iter_valid(set_index):
+        virtual_line = virtual_address & self._offset_mask
+        set_index = (virtual_address >> self._line_shift) % self.num_sets
+        valid = self._valid_bits[set_index]
+        lines = self._sets[set_index]
+        for way in range(self.associativity):
+            if not valid[way]:
+                continue
+            line = lines[way]
             if line.virtual_tag == virtual_line and (
                     process_id is None or line.owner_process in (
                         None, process_id)):
@@ -155,26 +182,32 @@ class SpeculativeFilterCache:
         process is prevented by evicting any existing line with the same
         physical address first (section 4.4).
         """
-        virtual_line = self.line_address(virtual_address)
-        physical_line = self.line_address(physical_address)
+        virtual_line = virtual_address & self._offset_mask
+        physical_line = physical_address & self._offset_mask
         existing_physical = self.probe_physical(physical_address)
         if existing_physical is not None and (
                 existing_physical.virtual_tag != virtual_line):
             self._invalidate_line(existing_physical)
-        set_index = self._set_index(virtual_address)
+        set_index = (virtual_address >> self._line_shift) % self.num_sets
         # Re-use the line if it is already present (refill after downgrade).
-        for way, line in self._iter_valid(set_index):
+        valid = self._valid_bits[set_index]
+        lines = self._sets[set_index]
+        for reuse_way in range(self.associativity):
+            if not valid[reuse_way]:
+                continue
+            line = lines[reuse_way]
             if line.virtual_tag == virtual_line:
                 line.committed = line.committed or committed
                 line.se_upgrade_pending = line.se_upgrade_pending or se_upgrade
-                line.touch(now)
+                line.last_use = now
                 return line
         way = self._choose_victim(set_index)
-        line = self._sets[set_index][way]
-        if self._valid_bits[set_index][way]:
+        line = lines[way]
+        if valid[way]:
             self._evictions.increment()
             if not line.committed:
                 self._uncommitted_evictions.increment()
+        self._physical_index[physical_line] = (set_index, way)
         line.address = physical_line
         line.state = S
         line.dirty = False
@@ -213,14 +246,19 @@ class SpeculativeFilterCache:
         been evicted, in which case the caller re-requests it from the
         hierarchy (section 4.2).
         """
-        virtual_line = self.line_address(virtual_address)
-        set_index = self._set_index(virtual_address)
-        for way, line in self._iter_valid(set_index):
+        virtual_line = virtual_address & self._offset_mask
+        set_index = (virtual_address >> self._line_shift) % self.num_sets
+        valid = self._valid_bits[set_index]
+        lines = self._sets[set_index]
+        for way in range(self.associativity):
+            if not valid[way]:
+                continue
+            line = lines[way]
             if line.virtual_tag == virtual_line:
                 if not line.committed:
                     line.committed = True
                     self._commits.increment()
-                line.touch(now)
+                line.last_use = now
                 return line
         return None
 

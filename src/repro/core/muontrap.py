@@ -126,8 +126,8 @@ class MuonTrapMemorySystem(MemorySystem):
                    instruction: bool) -> tuple:
         space = self.page_tables.address_space(process_id)
         mmu = core.inst_mmu if instruction else core.data_mmu
-        result = mmu.translate(space, virtual_address, speculative=speculative)
-        return result.physical_address, result.latency
+        return mmu.translate_address(space, virtual_address,
+                                     speculative=speculative)
 
     def _flush_core(self, core_id: int) -> None:
         """Clear all speculative state on a protection-domain switch."""
@@ -363,6 +363,10 @@ class MuonTrapMemorySystem(MemorySystem):
 
     def sandbox_entry(self, core_id: int, now: int) -> None:
         self._cores[core_id].domains.sandbox_entry(sandbox_id=1)
+
+    def drain(self, core_id: int, now: int) -> None:
+        """End of run: deliver prefetcher-training events still buffered."""
+        self.hierarchy.flush_speculative_training(now)
 
     # -- statistics ------------------------------------------------------------------------
     @property

@@ -1,14 +1,13 @@
 """The out-of-order core timing model.
 
-The core consumes a trace of :class:`~repro.cpu.instructions.MicroOp` and
-computes, for each instruction, when it dispatches, issues, completes and
-commits, under the structural constraints of Table 1 (8-wide front end and
-commit, 192-entry ROB, 32-entry load and store queues) and the data-flow
-constraints implied by register dependencies and memory latency.  It is a
-constraint-propagation model rather than a cycle-stepped pipeline: each
-instruction is processed once, in program order, which keeps simulation
-O(1) per instruction while still reproducing the behaviour the paper's
-evaluation depends on:
+The core consumes a trace of micro-ops and computes, for each instruction,
+when it dispatches, issues, completes and commits, under the structural
+constraints of Table 1 (8-wide front end and commit, 192-entry ROB, 32-entry
+load and store queues) and the data-flow constraints implied by register
+dependencies and memory latency.  It is a constraint-propagation model
+rather than a cycle-stepped pipeline: each instruction is processed once, in
+program order, which keeps simulation O(1) per instruction while still
+reproducing the behaviour the paper's evaluation depends on:
 
 * speculative and *wrong-path* memory accesses reach the memory system
   before the branch that caused them resolves, and are then squashed;
@@ -21,23 +20,52 @@ evaluation depends on:
   memory system (write-through-at-commit, prefetch notification, exclusive
   upgrade, ...).
 
+Two execution paths produce bit-identical results:
+
+* :meth:`OutOfOrderCore.execute_op` — one :class:`MicroOp` at a time; the
+  boundary API used by attacks and unit tests.
+* :meth:`OutOfOrderCore.run_packed` — the hot path.  It consumes a
+  :class:`~repro.workloads.trace.PackedTrace` (struct-of-arrays), hoists
+  every attribute lookup and memory-system capability probe into locals,
+  keeps register ready-times/taints in flat arrays, and accumulates
+  statistics in plain local integers flushed to the
+  :class:`~repro.common.statistics.StatGroup` counters once per call.
+  Nothing is allocated per instruction.
+
 The same class serves single-core (SPEC CPU2006) and multi-core (Parsec)
 experiments; in the latter case :class:`repro.sim.simulator.Simulator`
-interleaves `step()` calls across cores so that the cores' clocks advance
-together and their traffic interacts in the shared L2 and coherence bus.
+interleaves chunked ``run_packed`` calls across cores so that the cores'
+clocks advance together and their traffic interacts in the shared L2 and
+coherence bus.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple, Union
 
-from repro.common.params import CoreConfig, ProtectionMode, SystemConfig
+from repro.common.params import CoreConfig, SystemConfig
 from repro.common.statistics import StatGroup
 from repro.cpu.branch_predictor import TournamentPredictor
-from repro.cpu.instructions import MicroOp, OpKind
-from repro.cpu.interface import MemoryAccessResult, MemorySystem
+from repro.cpu.instructions import (
+    F_BRANCH,
+    F_CONTEXT_SWITCH,
+    F_FORCE_MISPREDICT,
+    F_FORCE_MISPREDICT_VALUE,
+    F_LOAD,
+    F_SANDBOX_ENTRY,
+    F_STORE,
+    F_SYSCALL,
+    F_TAKEN,
+    F_TRANSMITTER,
+    MicroOp,
+)
+from repro.cpu.interface import MemorySystem
 from repro.cpu.rob import LoadQueue, ReorderBuffer, StoreQueue
+
+#: Initial size of the flat register ready-time/taint arrays; grown on
+#: demand for traces that name larger register ids.
+_INITIAL_REGISTERS = 64
 
 
 @dataclass
@@ -66,15 +94,6 @@ class CoreResult:
         return self.mispredictions / self.committed_branches
 
 
-@dataclass
-class _RegisterValue:
-    """When a register's value is available, and its taint for STT."""
-
-    ready_time: int = 0
-    #: Visibility point of the producing load (None when not a load result).
-    taint_visibility: Optional[int] = None
-
-
 class OutOfOrderCore:
     """An 8-wide out-of-order core driven by a micro-op trace."""
 
@@ -95,7 +114,11 @@ class OutOfOrderCore:
         self.rob = ReorderBuffer(self.core_config.rob_entries)
         self.load_queue = LoadQueue(self.core_config.lq_entries)
         self.store_queue = StoreQueue(self.core_config.sq_entries)
-        self._registers: Dict[int, _RegisterValue] = {}
+        # Register file: flat ready-time and taint-visibility arrays indexed
+        # by register id (an unwritten register reads as ready at 0 with no
+        # taint, exactly like the absent-dict-entry it replaces).
+        self._reg_ready: List[int] = [0] * _INITIAL_REGISTERS
+        self._reg_taint: List[Optional[int]] = [None] * _INITIAL_REGISTERS
         self._committed = stats.counter("committed_instructions")
         self._committed_loads = stats.counter("committed_loads")
         self._committed_stores = stats.counter("committed_stores")
@@ -114,11 +137,16 @@ class OutOfOrderCore:
         self._pending_lq_hold = 0
         self._line_size = config.l1i.line_size
         self._current_fetch_line: Optional[int] = None
-        # Memory-system capability probes.
+        # Memory-system capability probes, hoisted once per core so the hot
+        # loop never calls getattr/hasattr.
         self._stt_mode = getattr(memory_system, "delays_dependent_transmitters",
                                  False)
         self._stt_future = getattr(memory_system, "future_variant", False)
         self._invisispec = hasattr(memory_system, "validation_latency")
+        self._validation_latency = getattr(memory_system,
+                                           "validation_latency", None)
+        self._record_delayed_forward = getattr(memory_system,
+                                               "record_delayed_forward", None)
 
     # -- bandwidth helpers ---------------------------------------------------------
     def _bandwidth_limit(self, desired_time: int,
@@ -133,26 +161,35 @@ class OutOfOrderCore:
         return cycle + 1, (cycle + 1, 1)
 
     # -- register file helpers --------------------------------------------------------
+    def _ensure_register(self, register: int) -> None:
+        if register >= len(self._reg_ready):
+            grow = register + 1 - len(self._reg_ready)
+            self._reg_ready.extend([0] * grow)
+            self._reg_taint.extend([None] * grow)
+
     def _read_sources(self, op: MicroOp) -> Tuple[int, Optional[int]]:
         """Return (ready_time, taint_visibility) over the op's source registers."""
         ready = 0
         taint: Optional[int] = None
+        limit = len(self._reg_ready)
         for reg in op.src_regs:
-            value = self._registers.get(reg)
-            if value is None:
+            if reg >= limit:
                 continue
-            ready = max(ready, value.ready_time)
-            if value.taint_visibility is not None:
-                taint = (value.taint_visibility if taint is None
-                         else max(taint, value.taint_visibility))
+            value = self._reg_ready[reg]
+            if value > ready:
+                ready = value
+            visibility = self._reg_taint[reg]
+            if visibility is not None and (taint is None or visibility > taint):
+                taint = visibility
         return ready, taint
 
     def _write_destination(self, op: MicroOp, ready_time: int,
                            taint_visibility: Optional[int]) -> None:
         if op.dst_reg is None:
             return
-        self._registers[op.dst_reg] = _RegisterValue(
-            ready_time=ready_time, taint_visibility=taint_visibility)
+        self._ensure_register(op.dst_reg)
+        self._reg_ready[op.dst_reg] = ready_time
+        self._reg_taint[op.dst_reg] = taint_visibility
 
     # -- front end ---------------------------------------------------------------------
     def _fetch(self, op: MicroOp, earliest: int) -> int:
@@ -221,9 +258,8 @@ class OutOfOrderCore:
                 and op.kind.is_transmitter):
             if issue_time < source_taint:
                 issue_time = source_taint
-                record = getattr(self.memory, "record_delayed_forward", None)
-                if record is not None:
-                    record()
+                if self._record_delayed_forward is not None:
+                    self._record_delayed_forward()
 
         # 3. Execute.
         completion, taint_visibility = self._execute(op, issue_time,
@@ -365,14 +401,376 @@ class OutOfOrderCore:
 
     def _stt_future_like_invisispec(self) -> bool:
         """True for InvisiSpec-Future: visibility only at commit."""
-        return self._invisispec and getattr(self.memory, "future_variant",
-                                            False)
+        return self._invisispec and self._stt_future
+
+    # -- packed-trace execution (the hot path) ------------------------------------------------------
+    def run_packed(self, packed, start: int = 0,
+                   end: Optional[int] = None) -> int:
+        """Execute ops ``[start, end)`` of a packed trace; returns the clock.
+
+        This is the zero-allocation twin of :meth:`execute_op`: identical
+        step-for-step semantics (it is golden-tested to produce bit-identical
+        cycles, instructions and statistics), but driven by the
+        struct-of-arrays trace with every per-op attribute lookup hoisted
+        into locals and statistics accumulated in local integers that are
+        flushed once per call.
+        """
+        if end is None:
+            end = packed.length
+        # -- trace columns ---------------------------------------------------
+        col_flags = packed.flags
+        col_pcs = packed.pcs
+        col_addresses = packed.addresses
+        col_latencies = packed.latencies
+        col_srcs = packed.srcs
+        col_dsts = packed.dsts
+        col_targets = packed.targets
+        col_wrong_paths = packed.wrong_paths
+        # -- hoisted collaborators -------------------------------------------
+        core_id = self.core_id
+        process_id = self.process_id
+        memory = self.memory
+        mem_fetch = memory.fetch
+        mem_load = memory.load
+        mem_store_address_ready = memory.store_address_ready
+        mem_commit_load = memory.commit_load
+        mem_commit_store = memory.commit_store
+        mem_commit_fetch = memory.commit_fetch
+        mem_squash = memory.squash
+        mem_context_switch = memory.context_switch
+        mem_sandbox_entry = memory.sandbox_entry
+        mem_validation_latency = self._validation_latency
+        record_delayed_forward = self._record_delayed_forward
+        predictor_predict = self.predictor.predict
+        predictor_update = self.predictor.update
+        rob = self.rob
+        load_queue = self.load_queue
+        store_queue = self.store_queue
+        rob_times = rob._commit_times
+        lq_times = load_queue._commit_times
+        sq_times = store_queue._commit_times
+        rob_pop = rob_times.popleft
+        lq_pop = lq_times.popleft
+        sq_pop = sq_times.popleft
+        rob_append = rob_times.append
+        lq_append = lq_times.append
+        sq_append = sq_times.append
+        rob_capacity = rob.capacity
+        lq_capacity = load_queue.capacity
+        sq_capacity = store_queue.capacity
+        reg_ready = self._reg_ready
+        reg_taint = self._reg_taint
+        reg_limit = len(reg_ready)
+        # -- hoisted configuration -------------------------------------------
+        width = self.core_config.width
+        mispredict_penalty = self.core_config.mispredict_penalty
+        line_size = self._line_size
+        stt_mode = self._stt_mode
+        stt_future = self._stt_future
+        invisispec = self._invisispec
+        invisispec_future = self._invisispec and self._stt_future
+        # -- core state pulled into locals -----------------------------------
+        fetch_ready = self._fetch_ready
+        current_fetch_line = self._current_fetch_line
+        last_commit_time = self._last_commit_time
+        last_branch_resolve = self._last_branch_resolve
+        pending_lq_hold = self._pending_lq_hold
+        dispatch_cycle, dispatch_used = self._dispatched_in_cycle
+        commit_cycle, commit_used = self._committed_in_cycle
+        # -- locally accumulated statistics ----------------------------------
+        n_committed = 0
+        n_loads = 0
+        n_stores = 0
+        n_branches = 0
+        n_mispredictions = 0
+        n_squashed = 0
+        n_nack_retries = 0
+        n_context_switches = 0
+        n_rob_stalls = 0
+        n_lq_stalls = 0
+        n_sq_stalls = 0
+
+        for index in range(start, end):
+            flags = col_flags[index]
+            pc = col_pcs[index]
+
+            # 1. Front end: fetch and dispatch, bounded by ROB/LSQ occupancy
+            #    and dispatch bandwidth.
+            fetch_line = pc - pc % line_size
+            fetch_time = fetch_ready
+            if fetch_line != current_fetch_line:
+                latency = mem_fetch(core_id, process_id, pc, fetch_time,
+                                    speculative=True, pc=pc).latency - 1
+                if latency > 0:
+                    fetch_time += latency
+                current_fetch_line = fetch_line
+            fetch_ready = fetch_time
+
+            dispatch_time = fetch_time
+            if len(rob_times) >= rob_capacity:
+                oldest = rob_times[0]
+                if oldest > dispatch_time:
+                    n_rob_stalls += 1
+                    dispatch_time = oldest
+            is_load = flags & F_LOAD
+            is_store = flags & F_STORE
+            if is_load and len(lq_times) >= lq_capacity:
+                oldest = lq_times[0]
+                if oldest > dispatch_time:
+                    n_lq_stalls += 1
+                    dispatch_time = oldest
+            if is_store and len(sq_times) >= sq_capacity:
+                oldest = sq_times[0]
+                if oldest > dispatch_time:
+                    n_sq_stalls += 1
+                    dispatch_time = oldest
+            if dispatch_time > dispatch_cycle:
+                dispatch_cycle = dispatch_time
+                dispatch_used = 1
+            elif dispatch_used < width:
+                dispatch_time = dispatch_cycle
+                dispatch_used += 1
+            else:
+                dispatch_cycle += 1
+                dispatch_used = 1
+                dispatch_time = dispatch_cycle
+
+            # 2. Issue: wait for source operands (plus STT taint delays).
+            source_taint = None
+            issue_time = dispatch_time + 1
+            srcs = col_srcs[index]
+            if srcs:
+                for reg in srcs:
+                    if reg >= reg_limit:
+                        continue
+                    value = reg_ready[reg]
+                    if value > issue_time:
+                        issue_time = value
+                    visibility = reg_taint[reg]
+                    if visibility is not None and (source_taint is None
+                                                   or visibility > source_taint):
+                        source_taint = visibility
+                if (stt_mode and source_taint is not None
+                        and flags & F_TRANSMITTER
+                        and issue_time < source_taint):
+                    issue_time = source_taint
+                    if record_delayed_forward is not None:
+                        record_delayed_forward()
+
+            # 3. Execute.
+            taint_visibility = None
+            if is_load:
+                address = col_addresses[index]
+                result = mem_load(core_id, process_id, address, issue_time,
+                                  speculative=True, pc=pc)
+                if result.must_retry_nonspeculative:
+                    n_nack_retries += 1
+                    retry_time = (issue_time if issue_time > last_commit_time
+                                  else last_commit_time)
+                    retry = mem_load(core_id, process_id, address, retry_time,
+                                     speculative=False, pc=pc)
+                    completion = retry_time + retry.latency
+                else:
+                    completion = issue_time + result.latency
+                if stt_mode:
+                    if stt_future:
+                        taint_visibility = (completion
+                                            if completion > last_commit_time
+                                            else last_commit_time)
+                    else:
+                        taint_visibility = (completion
+                                            if completion > last_branch_resolve
+                                            else last_branch_resolve)
+            elif is_store:
+                mem_store_address_ready(core_id, process_id,
+                                        col_addresses[index], issue_time,
+                                        speculative=True, pc=pc)
+                completion = issue_time + col_latencies[index]
+            elif flags & F_BRANCH:
+                resolve_time = issue_time + col_latencies[index]
+                taken = bool(flags & F_TAKEN)
+                target = col_targets[index]
+                if target < 0:
+                    target = None
+                if flags & F_FORCE_MISPREDICT:
+                    mispredicted = bool(flags & F_FORCE_MISPREDICT_VALUE)
+                    predictor_update(pc, taken, target)
+                else:
+                    predictor_predict(pc)
+                    mispredicted = predictor_update(pc, taken, target)
+                if resolve_time > last_branch_resolve:
+                    last_branch_resolve = resolve_time
+                if mispredicted:
+                    n_mispredictions += 1
+                    wrong_path = col_wrong_paths[index]
+                    if wrong_path:
+                        window = resolve_time - dispatch_time
+                        if window < 1:
+                            window = 1
+                        for access in wrong_path:
+                            offset = access.issue_offset
+                            issue_at = dispatch_time + (
+                                offset if offset < window else window)
+                            if access.is_instruction:
+                                mem_fetch(core_id, process_id, access.address,
+                                          issue_at, speculative=True,
+                                          pc=access.address)
+                            elif access.is_store:
+                                mem_store_address_ready(
+                                    core_id, process_id, access.address,
+                                    issue_at, speculative=True, pc=pc)
+                            else:
+                                mem_load(core_id, process_id, access.address,
+                                         issue_at, speculative=True, pc=pc)
+                            n_squashed += 1
+                        current_fetch_line = None
+                        mem_squash(core_id, resolve_time)
+                    redirect = resolve_time + mispredict_penalty
+                    if redirect > fetch_ready:
+                        fetch_ready = redirect
+                completion = resolve_time
+            else:
+                completion = issue_time + col_latencies[index]
+
+            if stt_mode and not is_load and source_taint is not None:
+                # STT propagates taint transitively through non-load
+                # producers until the original load's visibility point.
+                if taint_visibility is None or source_taint > taint_visibility:
+                    taint_visibility = source_taint
+
+            # 4. Commit in order, at most ``width`` per cycle.
+            commit_time = (completion if completion > last_commit_time
+                           else last_commit_time)
+            if commit_time > commit_cycle:
+                commit_cycle = commit_time
+                commit_used = 1
+            elif commit_used < width:
+                commit_time = commit_cycle
+                commit_used += 1
+            else:
+                commit_cycle += 1
+                commit_used = 1
+                commit_time = commit_cycle
+
+            extra = 0
+            if is_load:
+                n_loads += 1
+                address = col_addresses[index]
+                if invisispec:
+                    if invisispec_future:
+                        visibility = commit_time
+                    else:
+                        visibility = (last_branch_resolve
+                                      if last_branch_resolve > issue_time
+                                      else issue_time)
+                    validation_done = visibility + mem_validation_latency(
+                        core_id, process_id, address, visibility, pc=pc)
+                    overshoot = validation_done - commit_time
+                    if overshoot > 0:
+                        extra += overshoot
+                    if invisispec_future:
+                        pending_lq_hold = validation_done
+                extra += mem_commit_load(core_id, process_id, address,
+                                         commit_time + extra, pc=pc)
+            elif is_store:
+                n_stores += 1
+                extra += mem_commit_store(core_id, process_id,
+                                          col_addresses[index],
+                                          commit_time + extra, pc=pc)
+            elif flags & F_BRANCH:
+                n_branches += 1
+            mem_commit_fetch(core_id, process_id, pc, commit_time + extra,
+                             pc=pc)
+            if flags & (F_SYSCALL | F_CONTEXT_SWITCH):
+                n_context_switches += 1
+                mem_context_switch(core_id, commit_time + extra)
+                extra += mispredict_penalty
+            if flags & F_SANDBOX_ENTRY:
+                mem_sandbox_entry(core_id, commit_time + extra)
+            commit_time += extra
+            last_commit_time = commit_time
+
+            # 5. Update structures.
+            while rob_times and rob_times[0] <= dispatch_time:
+                rob_pop()
+            while rob_times and len(rob_times) >= rob_capacity:
+                rob_pop()
+            rob_append(commit_time)
+            if is_load:
+                while lq_times and lq_times[0] <= dispatch_time:
+                    lq_pop()
+                hold = (commit_time if commit_time > pending_lq_hold
+                        else pending_lq_hold)
+                while lq_times and len(lq_times) >= lq_capacity:
+                    lq_pop()
+                lq_append(hold)
+                pending_lq_hold = 0
+            if is_store:
+                while sq_times and sq_times[0] <= dispatch_time:
+                    sq_pop()
+                while sq_times and len(sq_times) >= sq_capacity:
+                    sq_pop()
+                sq_append(commit_time)
+            dst = col_dsts[index]
+            if dst >= 0:
+                if dst >= reg_limit:
+                    grow = dst + 1 - reg_limit
+                    reg_ready.extend([0] * grow)
+                    reg_taint.extend([None] * grow)
+                    reg_limit = dst + 1
+                reg_ready[dst] = completion
+                reg_taint[dst] = taint_visibility
+            n_committed += 1
+
+        # -- write state back -------------------------------------------------
+        self._fetch_ready = fetch_ready
+        self._current_fetch_line = current_fetch_line
+        self._last_commit_time = last_commit_time
+        self._last_branch_resolve = last_branch_resolve
+        self._pending_lq_hold = pending_lq_hold
+        self._dispatched_in_cycle = (dispatch_cycle, dispatch_used)
+        self._committed_in_cycle = (commit_cycle, commit_used)
+        self._sequence += end - start
+        rob.full_stalls += n_rob_stalls
+        load_queue.full_stalls += n_lq_stalls
+        store_queue.full_stalls += n_sq_stalls
+        # -- flush batched statistics -----------------------------------------
+        if n_committed:
+            self._committed.add(n_committed)
+        if n_loads:
+            self._committed_loads.add(n_loads)
+        if n_stores:
+            self._committed_stores.add(n_stores)
+        if n_branches:
+            self._committed_branches.add(n_branches)
+        if n_mispredictions:
+            self._mispredictions.add(n_mispredictions)
+        if n_squashed:
+            self._squashed_accesses.add(n_squashed)
+        if n_nack_retries:
+            self._nack_retries.add(n_nack_retries)
+        if n_context_switches:
+            self._context_switches.add(n_context_switches)
+        return last_commit_time
 
     # -- whole-trace execution -----------------------------------------------------------------------------
-    def run(self, trace: Iterable[MicroOp]) -> CoreResult:
-        """Execute a complete trace and return the timing summary."""
-        for op in trace:
-            self.execute_op(op)
+    def run(self, trace: Union["Trace", "PackedTrace", Iterable[MicroOp]]
+            ) -> CoreResult:
+        """Execute a complete trace and return the timing summary.
+
+        Accepts a :class:`~repro.workloads.trace.Trace` or
+        :class:`~repro.workloads.trace.PackedTrace` (executed through the
+        packed fast path) or any iterable of :class:`MicroOp` (executed
+        op-by-op through :meth:`execute_op`).
+        """
+        packed = getattr(trace, "packed", None)
+        if packed is not None:                 # a Trace
+            self.run_packed(packed())
+        elif hasattr(trace, "flags"):          # already a PackedTrace
+            self.run_packed(trace)
+        else:
+            for op in trace:
+                self.execute_op(op)
         return self.result()
 
     def result(self) -> CoreResult:

@@ -51,7 +51,34 @@ EXECUTION_LATENCY = {
 }
 
 
-@dataclass(frozen=True)
+# Per-op flag bits used by the packed (struct-of-arrays) trace format.  The
+# kind-derived bits are precomputed once per OpKind in KIND_FLAGS so the hot
+# simulation loop tests a bitmask instead of touching enum properties per op.
+F_LOAD = 1 << 0
+F_STORE = 1 << 1
+F_BRANCH = 1 << 2
+F_SYSCALL = 1 << 3
+#: STT transmitter (covert-channel capable) instruction.
+F_TRANSMITTER = 1 << 4
+F_TAKEN = 1 << 5
+F_CONTEXT_SWITCH = 1 << 6
+F_SANDBOX_ENTRY = 1 << 7
+#: ``force_mispredict`` is not None; its value is F_FORCE_MISPREDICT_VALUE.
+F_FORCE_MISPREDICT = 1 << 8
+F_FORCE_MISPREDICT_VALUE = 1 << 9
+
+#: OpKind -> the flag bits implied by the kind alone.
+KIND_FLAGS = {
+    kind: ((F_LOAD if kind is OpKind.LOAD else 0)
+           | (F_STORE if kind is OpKind.STORE else 0)
+           | (F_BRANCH if kind is OpKind.BRANCH else 0)
+           | (F_SYSCALL if kind is OpKind.SYSCALL else 0)
+           | (F_TRANSMITTER if kind.is_transmitter else 0))
+    for kind in OpKind
+}
+
+
+@dataclass(frozen=True, slots=True)
 class WrongPathAccess:
     """A memory access the core performs down a mispredicted path.
 
@@ -67,9 +94,16 @@ class WrongPathAccess:
     issue_offset: int = 1
 
 
-@dataclass
+@dataclass(slots=True)
 class MicroOp:
-    """One instruction of a workload trace."""
+    """One instruction of a workload trace.
+
+    ``MicroOp`` is the boundary format: the workload generators, the attack
+    programs and the unit tests build and inspect individual ops.  The bulk
+    simulation path packs whole traces into the struct-of-arrays
+    :class:`~repro.workloads.trace.PackedTrace` (lossless ``pack`` /
+    ``unpack`` converters) so the core never allocates per instruction.
+    """
 
     kind: OpKind
     pc: int

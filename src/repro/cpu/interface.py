@@ -14,7 +14,7 @@ import abc
 from dataclasses import dataclass
 
 
-@dataclass
+@dataclass(slots=True)
 class MemoryAccessResult:
     """Result of one memory-system request issued by the core."""
 

@@ -75,7 +75,14 @@ class RunSpec:
 
 
 def run_cell(spec: RunSpec) -> SimulationResult:
-    """Execute one cell from scratch (pure function of the spec)."""
+    """Execute one cell from scratch (pure function of the spec).
+
+    Trace generation goes through the workload trace cache
+    (:mod:`repro.workloads.cache`), so a worker sweeping one benchmark
+    across several configurations generates its trace once; pointing
+    ``REPRO_TRACE_CACHE`` at a directory extends the sharing across
+    workers and campaign invocations.
+    """
     workload = generate_workload(spec.profile, spec.instructions,
                                  seed=spec.seed)
     cores_needed = max(1, spec.profile.num_threads)

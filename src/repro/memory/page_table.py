@@ -35,7 +35,7 @@ class PhysicalFrameAllocator:
         return self._next_frame - 1
 
 
-@dataclass
+@dataclass(slots=True)
 class PageTableEntry:
     """A single translation, with the permission bits the walker checks."""
 
@@ -55,18 +55,23 @@ class AddressSpace:
     page_size: int = 4096
     entries: Dict[int, PageTableEntry] = field(default_factory=dict)
 
+    def __post_init__(self) -> None:
+        if self.page_size <= 0 or self.page_size & (self.page_size - 1):
+            raise ValueError("page size must be a power of two")
+        self._page_shift = self.page_size.bit_length() - 1
+
     def translate(self, virtual_address: int,
                   allocate: bool = True) -> Optional[int]:
         """Translate ``virtual_address``; allocate a frame on first touch."""
-        vpn = page_number(virtual_address, self.page_size)
+        vpn = virtual_address >> self._page_shift
         entry = self.entries.get(vpn)
         if entry is None:
             if not allocate:
                 return None
             entry = PageTableEntry(frame=self.allocator.allocate())
             self.entries[vpn] = entry
-        return entry.frame * self.page_size + page_offset(
-            virtual_address, self.page_size)
+        return (entry.frame * self.page_size
+                + (virtual_address & (self.page_size - 1)))
 
     def entry_for(self, virtual_address: int) -> Optional[PageTableEntry]:
         return self.entries.get(page_number(virtual_address, self.page_size))

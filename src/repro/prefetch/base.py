@@ -17,7 +17,7 @@ from typing import List, Optional
 from repro.common.statistics import StatGroup
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TrainingEvent:
     """One observation given to a prefetcher."""
 

@@ -6,12 +6,20 @@ Multi-threaded workloads are interleaved across cores in small instruction
 chunks so that the per-core clocks advance roughly together and the threads'
 memory traffic interacts in the shared L2 and on the coherence bus, which is
 what the Parsec experiments (Figures 4, 5, 6 and 8) depend on.
+
+Execution runs on the packed-trace fast path by default
+(:meth:`~repro.cpu.core.OutOfOrderCore.run_packed` over index ranges — no
+per-chunk slice copies, no per-op allocation).  Constructing the simulator
+with ``use_packed=False`` drives the same traces through the per-op
+:meth:`~repro.cpu.core.OutOfOrderCore.execute_op` boundary path instead;
+the two are golden-tested to produce bit-identical results, which is also
+what the hot-path benchmark uses to report the engine speedup.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cpu.core import CoreResult
 from repro.sim.system import SimulatedSystem
@@ -47,8 +55,10 @@ class Simulator:
     #: Instructions executed per core before rotating to the next core.
     INTERLEAVE_CHUNK = 64
 
-    def __init__(self, system: SimulatedSystem) -> None:
+    def __init__(self, system: SimulatedSystem,
+                 use_packed: bool = True) -> None:
         self.system = system
+        self.use_packed = use_packed
 
     def run(self, workload: WorkloadTraces, collect_stats: bool = False,
             warmup_fraction: float = 0.0) -> SimulationResult:
@@ -75,23 +85,17 @@ class Simulator:
             raise ValueError("warmup_fraction must be in [0, 1)")
         warmup_cycles = 0
         if warmup_fraction > 0.0:
-            warmup_traces = [
-                Trace(benchmark=trace.benchmark, thread_id=trace.thread_id,
-                      process_id=trace.process_id,
-                      ops=trace.ops[:int(len(trace.ops) * warmup_fraction)])
-                for trace in traces
-            ]
-            measured_traces = [
-                Trace(benchmark=trace.benchmark, thread_id=trace.thread_id,
-                      process_id=trace.process_id,
-                      ops=trace.ops[int(len(trace.ops) * warmup_fraction):])
-                for trace in traces
-            ]
-            self._run_interleaved(warmup_traces)
+            splits = [int(len(trace.ops) * warmup_fraction)
+                      for trace in traces]
+            self._run_interleaved(
+                traces, [(0, split) for split in splits])
             warmup_ends = [core.current_cycle for core in self.system.cores]
             warmup_cycles = max(warmup_ends)
-            warmup_instructions = sum(len(t.ops) for t in warmup_traces)
-            self._run_interleaved(measured_traces)
+            warmup_instructions = sum(splits)
+            self._run_interleaved(
+                traces, [(split, len(trace.ops))
+                         for trace, split in zip(traces, splits)])
+            self._drain_memory_system()
             core_results = [core.result() for core in self.system.cores]
             cycles = max(
                 result.cycles - warmup_end
@@ -99,7 +103,9 @@ class Simulator:
             instructions = sum(result.committed_instructions
                                for result in core_results) - warmup_instructions
         else:
-            self._run_interleaved(traces)
+            self._run_interleaved(
+                traces, [(0, len(trace.ops)) for trace in traces])
+            self._drain_memory_system()
             core_results = [core.result() for core in self.system.cores]
             cycles = max(result.cycles for result in core_results)
             instructions = sum(result.committed_instructions
@@ -118,25 +124,49 @@ class Simulator:
         """Run a single trace to completion on one core (test helper)."""
         core = self.system.core(core_index)
         core.process_id = trace.process_id
-        return core.run(trace)
+        if self.use_packed:
+            core.run_packed(trace.packed())
+            return core.result()
+        return core.run(trace.ops)
 
     # -- internals ------------------------------------------------------------
-    def _run_interleaved(self, traces: List[Trace]) -> None:
-        cursors = [0] * len(traces)
-        done = [False] * len(traces)
+    def _drain_memory_system(self) -> None:
+        """Flush end-of-run buffers (e.g. pending prefetcher training)."""
+        memory = self.system.memory_system
+        for core in self.system.cores:
+            memory.drain(core.core_id, core.current_cycle)
+
+    def _run_interleaved(self, traces: List[Trace],
+                         bounds: Sequence[Tuple[int, int]]) -> None:
+        """Interleave execution of ``traces[i].ops[bounds[i]]`` across cores.
+
+        Iterates by index over each trace's packed columns (or op list on
+        the per-op path) — no per-chunk slice copies.
+        """
+        chunk = self.INTERLEAVE_CHUNK
+        use_packed = self.use_packed
+        packs = [trace.packed() if use_packed else None for trace in traces]
+        cursors = [start for start, _ in bounds]
+        ends = [end for _, end in bounds]
+        done = [cursors[i] >= ends[i] for i in range(len(traces))]
         for thread_id, trace in enumerate(traces):
             self.system.core(thread_id).process_id = trace.process_id
-        remaining = len(traces)
+        remaining = done.count(False)
         while remaining:
             for thread_id, trace in enumerate(traces):
                 if done[thread_id]:
                     continue
                 core = self.system.core(thread_id)
                 start = cursors[thread_id]
-                end = min(len(trace.ops), start + self.INTERLEAVE_CHUNK)
-                for op in trace.ops[start:end]:
-                    core.execute_op(op)
+                end = min(ends[thread_id], start + chunk)
+                if use_packed:
+                    core.run_packed(packs[thread_id], start, end)
+                else:
+                    ops = trace.ops
+                    execute_op = core.execute_op
+                    for index in range(start, end):
+                        execute_op(ops[index])
                 cursors[thread_id] = end
-                if end >= len(trace.ops):
+                if end >= ends[thread_id]:
                     done[thread_id] = True
                     remaining -= 1

@@ -21,7 +21,7 @@ from repro.tlb.filter_tlb import FilterTLB
 from repro.tlb.tlb import TLB
 
 
-@dataclass
+@dataclass(slots=True)
 class TranslationResult:
     """Outcome of a translation request."""
 
@@ -118,6 +118,41 @@ class MMU:
         return TranslationResult(physical_address=physical,
                                  latency=self.walker.walk_latency,
                                  tlb_hit=False, walked=True)
+
+    def translate_address(self, address_space: AddressSpace,
+                          virtual_address: int,
+                          speculative: bool = False
+                          ) -> "tuple[Optional[int], int]":
+        """Hot-path translation: ``(physical_address, latency)`` only.
+
+        Same TLB / filter-TLB / walker semantics as :meth:`translate`, but
+        returns a plain tuple instead of building a
+        :class:`TranslationResult` — the memory systems call this once per
+        simulated access and only ever read those two fields.
+        """
+        process_id = address_space.process_id
+        config = self.config
+        entry = self.tlb.lookup(process_id, virtual_address)
+        if entry is not None:
+            return (entry.frame * config.page_size
+                    + (virtual_address & (config.page_size - 1)),
+                    config.hit_latency)
+        if self.filter_tlb is not None:
+            filter_entry = self.filter_tlb.lookup(process_id, virtual_address)
+            if filter_entry is not None:
+                return (filter_entry.frame * config.page_size
+                        + (virtual_address & (config.page_size - 1)),
+                        config.hit_latency)
+        physical = self.walker.walk(address_space, virtual_address)
+        if physical is None:
+            return None, self.walker.walk_latency
+        frame = physical // config.page_size
+        if speculative and self.filter_tlb is not None:
+            self.filter_tlb.insert_speculative(process_id, virtual_address,
+                                               frame)
+        else:
+            self.tlb.insert(process_id, virtual_address, frame)
+        return physical, self.walker.walk_latency
 
     def commit_translation(self, address_space: AddressSpace,
                            virtual_address: int) -> None:

@@ -12,20 +12,25 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
-from repro.common.addresses import page_number, page_offset
 from repro.common.params import TLBConfig
 from repro.common.statistics import StatGroup
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TLBTag:
-    """The key a TLB entry is looked up by."""
+    """The (process, virtual page) key a TLB entry is looked up by.
+
+    Kept as the public face of :attr:`TLBEntry.tag`; internally the TLB
+    keys its entry map by plain ``(process_id, virtual_page)`` tuples,
+    which hash several times faster than a frozen dataclass and allocate
+    nothing on the lookup path.
+    """
 
     process_id: int
     virtual_page: int
 
 
-@dataclass
+@dataclass(slots=True)
 class TLBEntry:
     """One cached translation."""
 
@@ -47,7 +52,10 @@ class TLB:
         if self.capacity <= 0:
             raise ValueError("TLB needs at least one entry")
         self.page_size = self.config.page_size
-        self._entries: "OrderedDict[TLBTag, TLBEntry]" = OrderedDict()
+        if self.page_size <= 0 or self.page_size & (self.page_size - 1):
+            raise ValueError("page size must be a power of two")
+        self._page_shift = self.page_size.bit_length() - 1
+        self._entries: "OrderedDict[Tuple[int, int], TLBEntry]" = OrderedDict()
         stats = stats or StatGroup(name)
         self.stats = stats
         self._hits = stats.counter("hits")
@@ -55,13 +63,13 @@ class TLB:
         self._evictions = stats.counter("evictions")
         self._flushes = stats.counter("flushes")
 
-    def _tag(self, process_id: int, virtual_address: int) -> TLBTag:
-        return TLBTag(process_id, page_number(virtual_address, self.page_size))
+    def _tag(self, process_id: int, virtual_address: int) -> Tuple[int, int]:
+        return process_id, virtual_address >> self._page_shift
 
     def lookup(self, process_id: int,
                virtual_address: int) -> Optional[TLBEntry]:
         """Return the entry translating ``virtual_address``, if cached."""
-        tag = self._tag(process_id, virtual_address)
+        tag = (process_id, virtual_address >> self._page_shift)
         entry = self._entries.get(tag)
         if entry is None:
             self._misses.increment()
@@ -73,17 +81,18 @@ class TLB:
     def probe(self, process_id: int,
               virtual_address: int) -> Optional[TLBEntry]:
         """Lookup without updating LRU or statistics (attack/test helper)."""
-        return self._entries.get(self._tag(process_id, virtual_address))
+        return self._entries.get(
+            (process_id, virtual_address >> self._page_shift))
 
     def insert(self, process_id: int, virtual_address: int, frame: int,
                writable: bool = True,
                speculative: bool = False) -> Tuple[TLBEntry, Optional[TLBEntry]]:
         """Install a translation; returns (entry, evicted_entry_or_None)."""
-        tag = self._tag(process_id, virtual_address)
+        tag = (process_id, virtual_address >> self._page_shift)
         victim: Optional[TLBEntry] = None
-        if tag in self._entries:
+        entry = self._entries.get(tag)
+        if entry is not None:
             self._entries.move_to_end(tag)
-            entry = self._entries[tag]
             entry.frame = frame
             entry.writable = writable
             entry.speculative = speculative
@@ -91,7 +100,7 @@ class TLB:
         if len(self._entries) >= self.capacity:
             _, victim = self._entries.popitem(last=False)
             self._evictions.increment()
-        entry = TLBEntry(tag=tag, frame=frame, writable=writable,
+        entry = TLBEntry(tag=TLBTag(*tag), frame=frame, writable=writable,
                          speculative=speculative)
         self._entries[tag] = entry
         return entry, victim
@@ -102,8 +111,8 @@ class TLB:
         entry = self.lookup(process_id, virtual_address)
         if entry is None:
             return None
-        return entry.frame * self.page_size + page_offset(
-            virtual_address, self.page_size)
+        return (entry.frame * self.page_size
+                + (virtual_address & (self.page_size - 1)))
 
     def invalidate(self, process_id: int, virtual_address: int) -> bool:
         tag = self._tag(process_id, virtual_address)
@@ -121,7 +130,7 @@ class TLB:
 
     def flush_process(self, process_id: int) -> int:
         """Drop entries belonging to one process (used on address-space exit)."""
-        victims = [tag for tag in self._entries if tag.process_id == process_id]
+        victims = [tag for tag in self._entries if tag[0] == process_id]
         for tag in victims:
             del self._entries[tag]
         return len(victims)

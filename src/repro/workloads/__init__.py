@@ -1,5 +1,11 @@
 """Synthetic workload models of SPEC CPU2006 and Parsec."""
 
+from repro.workloads.cache import (
+    TRACE_CACHE_ENV,
+    TraceCache,
+    active_trace_cache,
+    trace_key,
+)
 from repro.workloads.generator import TraceGenerator, generate_workload
 from repro.workloads.profiles import (
     PARSEC_PROFILES,
@@ -9,17 +15,22 @@ from repro.workloads.profiles import (
     parsec_benchmarks,
     spec_benchmarks,
 )
-from repro.workloads.trace import Trace, WorkloadTraces
+from repro.workloads.trace import PackedTrace, Trace, WorkloadTraces
 
 __all__ = [
     "PARSEC_PROFILES",
     "SPEC2006_PROFILES",
+    "PackedTrace",
+    "TRACE_CACHE_ENV",
     "Trace",
+    "TraceCache",
     "TraceGenerator",
     "WorkloadProfile",
     "WorkloadTraces",
+    "active_trace_cache",
     "generate_workload",
     "get_profile",
     "parsec_benchmarks",
     "spec_benchmarks",
+    "trace_key",
 ]

@@ -77,12 +77,18 @@ class TraceGenerator:
     # -- public API ------------------------------------------------------------
     def generate(self, instructions: int,
                  process_id: int = 0) -> WorkloadTraces:
-        """Generate traces for every thread of the workload."""
+        """Generate traces for every thread of the workload.
+
+        Each trace is emitted with its struct-of-arrays
+        :class:`~repro.workloads.trace.PackedTrace` view already built, so
+        the simulator's zero-allocation loop never packs on the hot path.
+        """
         profile = self.profile.scaled_for_sample(instructions)
         traces = []
         for thread_id in range(self.profile.num_threads):
             trace = self._generate_thread(profile, instructions, thread_id,
                                           process_id)
+            trace.packed()
             traces.append(trace)
         return WorkloadTraces(benchmark=self.profile.name,
                               suite=self.profile.suite, traces=traces)
@@ -328,6 +334,24 @@ class TraceGenerator:
 
 def generate_workload(profile: WorkloadProfile, instructions: int,
                       seed: int = 0, process_id: int = 0) -> WorkloadTraces:
-    """Convenience wrapper used by the experiment harness."""
-    return TraceGenerator(profile, seed=seed).generate(instructions,
-                                                       process_id=process_id)
+    """Convenience wrapper used by the experiment harness.
+
+    Generation is pure in its arguments, so results are cached through
+    :mod:`repro.workloads.cache` (in-memory LRU, plus an on-disk tier when
+    ``REPRO_TRACE_CACHE`` names a directory).  A campaign sweeping one
+    benchmark across several protection schemes therefore generates the
+    trace once.  Cached workloads are shared objects: treat them as
+    immutable, as all harness code does.
+    """
+    from repro.workloads.cache import active_trace_cache, trace_key
+    cache = active_trace_cache()
+    if cache is None:
+        return TraceGenerator(profile, seed=seed).generate(
+            instructions, process_id=process_id)
+    key = trace_key(profile, instructions, seed, process_id)
+    workload = cache.get(key)
+    if workload is None:
+        workload = TraceGenerator(profile, seed=seed).generate(
+            instructions, process_id=process_id)
+        cache.put(key, workload)
+    return workload

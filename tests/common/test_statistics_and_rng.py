@@ -23,6 +23,12 @@ class TestCountersAndHistograms:
         counter.reset()
         assert counter.value == 0
 
+    def test_counter_batched_add(self):
+        counter = Counter("c")
+        counter.add(10)
+        counter.add(32)
+        assert counter.value == 42
+
     def test_histogram_mean(self):
         histogram = Histogram("h")
         histogram.sample(10)
@@ -30,6 +36,20 @@ class TestCountersAndHistograms:
         assert histogram.count == 4
         assert histogram.mean == pytest.approx(17.5)
         assert histogram.buckets() == {10: 1, 20: 3}
+
+    def test_histogram_buckets_view_is_read_only_and_live(self):
+        histogram = Histogram("h")
+        histogram.sample(10)
+        view = histogram.buckets()
+        with pytest.raises(TypeError):
+            view[10] = 99
+        # The view is live: later samples show through without re-fetching.
+        histogram.sample(10)
+        histogram.sample(20)
+        assert view == {10: 2, 20: 1}
+        # Reading a missing key must not materialise a bucket.
+        assert view.get(999) is None
+        assert 999 not in histogram.buckets()
 
 
 class TestStatGroup:

@@ -1,0 +1,90 @@
+"""Golden equivalence: the packed engine must match the per-op engine.
+
+The packed-trace fast path (`OutOfOrderCore.run_packed`) re-implements the
+per-instruction semantics of `execute_op` as a zero-allocation loop.  These
+tests pin the contract down: for every protection scheme the paper
+evaluates, running the same workload through both engines must produce a
+**bit-identical** `SimulationResult` — cycles, instructions, warmup cycles,
+per-core results and the complete statistics tree.  Any divergence, however
+small, is a bug in one of the engines.
+"""
+
+import pytest
+
+from repro.common.params import ProtectionMode, SystemConfig
+from repro.harness.suites import resolve_suites
+from repro.sim.simulator import SimulationResult, Simulator
+from repro.sim.system import build_system
+from repro.workloads.generator import generate_workload
+from repro.workloads.profiles import get_profile
+
+#: The five schemes of the acceptance matrix (Figures 3 and 4).
+SCHEMES = [
+    ProtectionMode.UNPROTECTED,
+    ProtectionMode.INSECURE_L0,
+    ProtectionMode.MUONTRAP,
+    ProtectionMode.INVISISPEC_SPECTRE,
+    ProtectionMode.STT_SPECTRE,
+]
+
+SEEDS = [7, 1234]
+
+#: A cross-section of the ``mixed`` suite: integer SPEC, floating-point
+#: SPEC (including the prefetcher-sensitive lbm and the associativity-
+#: sensitive cactusADM) and a four-threaded Parsec workload.
+CROSS_SECTION = ["mcf", "omnetpp", "lbm", "cactusADM", "streamcluster"]
+
+INSTRUCTIONS = 500
+
+
+def _run(mode: ProtectionMode, benchmark: str, seed: int,
+         use_packed: bool) -> SimulationResult:
+    profile = get_profile(benchmark)
+    config = SystemConfig(mode=mode).with_cores(max(1, profile.num_threads))
+    workload = generate_workload(profile, INSTRUCTIONS, seed=seed)
+    simulator = Simulator(build_system(config, seed=seed),
+                          use_packed=use_packed)
+    return simulator.run(workload, collect_stats=True, warmup_fraction=0.35)
+
+
+def _assert_identical(packed: SimulationResult, per_op: SimulationResult,
+                      context: str) -> None:
+    assert packed.cycles == per_op.cycles, context
+    assert packed.instructions == per_op.instructions, context
+    assert packed.warmup_cycles == per_op.warmup_cycles, context
+    assert packed.core_results == per_op.core_results, context
+    # The full statistics tree, key by key, so a mismatch names the stat.
+    assert set(packed.stats) == set(per_op.stats), context
+    for key, value in per_op.stats.items():
+        assert packed.stats[key] == value, f"{context}: {key}"
+
+
+class TestPackedEquivalence:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("mode", SCHEMES,
+                             ids=[mode.value for mode in SCHEMES])
+    def test_every_scheme_bit_identical_across_cross_section(self, mode,
+                                                             seed):
+        for benchmark in CROSS_SECTION:
+            packed = _run(mode, benchmark, seed, use_packed=True)
+            per_op = _run(mode, benchmark, seed, use_packed=False)
+            _assert_identical(packed, per_op,
+                              f"{mode.value}/{benchmark}/seed={seed}")
+
+    def test_full_mixed_suite_bit_identical(self):
+        """Every benchmark of the ``mixed`` suite under the full defence."""
+        for benchmark in resolve_suites(["mixed"]):
+            packed = _run(ProtectionMode.MUONTRAP, benchmark, SEEDS[0],
+                          use_packed=True)
+            per_op = _run(ProtectionMode.MUONTRAP, benchmark, SEEDS[0],
+                          use_packed=False)
+            _assert_identical(packed, per_op, f"mixed/{benchmark}")
+
+    def test_invisispec_future_and_stt_future_bit_identical(self):
+        """The -Future variants exercise distinct visibility-point logic."""
+        for mode in (ProtectionMode.INVISISPEC_FUTURE,
+                     ProtectionMode.STT_FUTURE):
+            for benchmark in ("mcf", "lbm"):
+                packed = _run(mode, benchmark, SEEDS[1], use_packed=True)
+                per_op = _run(mode, benchmark, SEEDS[1], use_packed=False)
+                _assert_identical(packed, per_op, f"{mode.value}/{benchmark}")

@@ -47,6 +47,31 @@ class TestHierarchy:
         hierarchy.commit_fill_l1(0, 0x3_0000, now=10)
         assert hierarchy.l1d(0).contains(0x3_0000)
 
+    def test_flush_speculative_training_delivers_buffered_events(self):
+        hierarchy = NonSpeculativeHierarchy(SystemConfig(num_cores=1))
+        # The reorder window withholds the first three events.
+        for index in range(3):
+            hierarchy.train_l2_prefetcher(0x4_0000 + index * 64, pc=0x400,
+                                          now=10 + index, was_miss=True)
+        assert len(hierarchy._speculative_train_buffer) == 3
+        trained_before = hierarchy.stats.get("l2_prefetcher.training_events")
+        delivered = hierarchy.flush_speculative_training(now=100)
+        assert delivered == 3
+        assert not hierarchy._speculative_train_buffer
+        assert (hierarchy.stats.get("l2_prefetcher.training_events")
+                == trained_before + 3)
+        # Idempotent once drained.
+        assert hierarchy.flush_speculative_training(now=101) == 0
+
+    def test_simulator_drains_training_buffer_at_end_of_run(self):
+        config = SystemConfig(num_cores=1,
+                              mode=ProtectionMode.UNPROTECTED)
+        system = build_system(config, seed=3)
+        workload = generate_workload(get_profile("mcf"), 600, seed=3)
+        Simulator(system).run(workload)
+        assert not (system.memory_system.hierarchy
+                    ._speculative_train_buffer)
+
     def test_commit_store_reports_broadcast_need(self):
         hierarchy = NonSpeculativeHierarchy(SystemConfig(num_cores=2))
         result = hierarchy.commit_store(0, 0x4_0000, now=10,

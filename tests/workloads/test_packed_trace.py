@@ -1,0 +1,106 @@
+"""Tests for the packed (struct-of-arrays) trace representation."""
+
+from repro.cpu.instructions import (
+    F_BRANCH,
+    F_LOAD,
+    F_STORE,
+    F_TAKEN,
+    F_TRANSMITTER,
+    MicroOp,
+    OpKind,
+    WrongPathAccess,
+)
+from repro.workloads.generator import TraceGenerator
+from repro.workloads.profiles import get_profile
+from repro.workloads.trace import PackedTrace, Trace
+
+
+def _varied_ops():
+    return [
+        MicroOp(kind=OpKind.LOAD, pc=0x1000, address=0x10_0000, dst_reg=3),
+        MicroOp(kind=OpKind.STORE, pc=0x1004, address=0x10_0040,
+                src_regs=(3,)),
+        MicroOp(kind=OpKind.BRANCH, pc=0x1008, taken=True, target=0x2000,
+                force_mispredict=True,
+                wrong_path=[WrongPathAccess(address=0x20_0000),
+                            WrongPathAccess(address=0x20_0040, is_store=True),
+                            WrongPathAccess(address=0x3000,
+                                            is_instruction=True)]),
+        MicroOp(kind=OpKind.INT_ALU, pc=0x100C, src_regs=(3, 7), dst_reg=8),
+        MicroOp(kind=OpKind.FP_ALU, pc=0x1010, dst_reg=9,
+                execution_latency=5),
+        MicroOp(kind=OpKind.SYSCALL, pc=0x1014, is_context_switch=True),
+        MicroOp(kind=OpKind.NOP, pc=0x1018, is_sandbox_entry=True),
+        MicroOp(kind=OpKind.BRANCH, pc=0x101C, taken=False, target=0x1000,
+                force_mispredict=False),
+        MicroOp(kind=OpKind.MUL_DIV, pc=0x1020, dst_reg=10, sequence=42),
+    ]
+
+
+class TestPackUnpackRoundTrip:
+    def test_lossless_round_trip(self):
+        ops = _varied_ops()
+        packed = PackedTrace.pack(ops)
+        assert len(packed) == len(ops)
+        assert packed.unpack() == ops
+
+    def test_single_op_materialisation(self):
+        ops = _varied_ops()
+        packed = PackedTrace.pack(ops)
+        for index, op in enumerate(ops):
+            assert packed.op(index) == op
+
+    def test_generated_trace_round_trips(self):
+        trace = TraceGenerator(get_profile("mcf"), seed=3).generate_single(400)
+        assert trace.packed().unpack() == trace.ops
+
+
+class TestPackedFlags:
+    def test_kind_flags_precomputed(self):
+        packed = PackedTrace.pack(_varied_ops())
+        assert packed.flags[0] & F_LOAD
+        assert packed.flags[0] & F_TRANSMITTER
+        assert packed.flags[1] & F_STORE
+        assert packed.flags[1] & F_TRANSMITTER
+        assert packed.flags[2] & F_BRANCH
+        assert packed.flags[2] & F_TAKEN
+        assert not packed.flags[3] & (F_LOAD | F_STORE | F_BRANCH)
+
+    def test_flags_match_enum_properties(self):
+        trace = TraceGenerator(get_profile("gcc"), seed=5).generate_single(300)
+        packed = trace.packed()
+        for index, op in enumerate(trace.ops):
+            flags = packed.flags[index]
+            assert bool(flags & F_LOAD) == op.is_load
+            assert bool(flags & F_STORE) == op.is_store
+            assert bool(flags & F_BRANCH) == op.is_branch
+            assert bool(flags & F_TRANSMITTER) == op.kind.is_transmitter
+
+
+class TestTracePackedCache:
+    def test_packed_view_is_cached(self):
+        trace = Trace(benchmark="demo", thread_id=0, process_id=0,
+                      ops=_varied_ops())
+        assert trace.packed() is trace.packed()
+
+    def test_cache_invalidated_on_length_change(self):
+        trace = Trace(benchmark="demo", thread_id=0, process_id=0,
+                      ops=_varied_ops())
+        first = trace.packed()
+        trace.ops.append(MicroOp(kind=OpKind.NOP, pc=0x2000))
+        second = trace.packed()
+        assert second is not first
+        assert len(second) == len(trace.ops)
+
+    def test_explicit_invalidation(self):
+        trace = Trace(benchmark="demo", thread_id=0, process_id=0,
+                      ops=_varied_ops())
+        first = trace.packed()
+        trace.invalidate_packed()
+        assert trace.packed() is not first
+
+    def test_generator_emits_packed_traces(self):
+        workload = TraceGenerator(get_profile("mcf"), seed=1).generate(200)
+        for trace in workload:
+            assert trace._packed is not None
+            assert trace._packed.length == len(trace.ops)
