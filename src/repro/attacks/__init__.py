@@ -1,9 +1,18 @@
-"""The six Spectre-style attacks of the paper and their shared harness."""
+"""The six Spectre-style attacks of the paper and their shared harness,
+plus the cross-core attack suite that drives real multi-core systems."""
 
+from repro.attacks.cross_core import (
+    CROSS_CORE_ATTACKS,
+    CrossCoreLLCPrimeProbeAttack,
+    CrossCoreReloadAttack,
+    classify_contention,
+    run_cross_core_suite,
+)
 from repro.attacks.filter_coherency import FilterCacheCoherencyAttack
 from repro.attacks.framework import (
     AttackEnvironment,
     AttackOutcome,
+    CrossCoreAttackEnvironment,
     classify_probe,
     run_attack_for_modes,
 )
@@ -26,12 +35,18 @@ __all__ = [
     "ALL_ATTACKS",
     "AttackEnvironment",
     "AttackOutcome",
+    "CROSS_CORE_ATTACKS",
+    "CrossCoreAttackEnvironment",
+    "CrossCoreLLCPrimeProbeAttack",
+    "CrossCoreReloadAttack",
     "FilterCacheCoherencyAttack",
     "InclusionPolicyAttack",
     "InstructionCacheAttack",
     "PrefetcherAttack",
     "SharedDataCoherenceAttack",
     "SpectrePrimeProbeAttack",
+    "classify_contention",
     "classify_probe",
     "run_attack_for_modes",
+    "run_cross_core_suite",
 ]

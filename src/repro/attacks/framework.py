@@ -22,12 +22,13 @@ annotations.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.params import ProtectionMode, SystemConfig
+from repro.cpu.instructions import MicroOp, OpKind, WrongPathAccess
 from repro.cpu.interface import MemorySystem
 from repro.memory.page_table import PageTableManager
-from repro.sim.system import build_memory_system
+from repro.sim.system import build_memory_system, build_system
 
 #: Virtual addresses used by the attack programs.  The attacker and victim
 #: are distinct processes, so equal virtual addresses do not alias unless a
@@ -204,6 +205,159 @@ class AttackEnvironment:
 
     def victim_private_address(self, index: int) -> int:
         return VICTIM_PRIVATE_BASE + index * LINE_SIZE
+
+
+class CrossCoreAttackEnvironment:
+    """Attacker and victim on *different cores* of a real simulated machine.
+
+    Unlike :class:`AttackEnvironment`, which drives a memory system
+    directly, this harness builds a complete
+    :class:`~repro.sim.system.SimulatedSystem` — out-of-order cores,
+    per-core private caches (and filter caches, per protection mode),
+    coherence bus, snoop filter, shared LLC — and executes real micro-op
+    sequences on the cores:
+
+    * the *victim* transmits by executing a deliberately mispredicted
+      branch whose wrong-path loads touch secret-dependent addresses; the
+      accesses issue speculatively through the fabric and are squashed by
+      the core, exactly as in a real Spectre gadget;
+    * the *attacker* probes by executing committed loads on its own core
+      and timing them through the core's register-dependency chain
+      (:meth:`~repro.cpu.core.OutOfOrderCore.register_ready_time`), so the
+      observed latency is precisely what the coherence fabric charged.
+
+    The attacker always runs on core 0, the victim on core 1; systems with
+    more cores leave the extra contexts idle (they still participate in
+    snoops and broadcasts).
+    """
+
+    ATTACKER_CORE = 0
+    VICTIM_CORE = 1
+
+    #: Per-core code lines; a probe pair reuses its pcs so the instruction
+    #: fetch path stays warm and never perturbs a measurement.
+    ATTACKER_CODE = 0x0050_0000
+    VICTIM_CODE = 0x0060_0000
+
+    #: Registers used by the timing chain.
+    _SYNC_REG = 60
+    _DEST_REG = 61
+
+    def __init__(self, mode: ProtectionMode = ProtectionMode.UNPROTECTED,
+                 num_cores: int = 2, secret: int = 3,
+                 num_secret_values: int = 8, seed: int = 0,
+                 config: Optional[SystemConfig] = None) -> None:
+        if num_cores < 2:
+            raise ValueError("a cross-core attack needs at least two cores")
+        base = config or SystemConfig()
+        self.config = base.with_mode(mode).with_cores(num_cores)
+        self.mode = mode
+        self.secret = secret % num_secret_values
+        self.num_secret_values = num_secret_values
+        process_ids = [ATTACKER_PROCESS] + [VICTIM_PROCESS] * (num_cores - 1)
+        self.system = build_system(self.config, seed=seed,
+                                   process_ids=process_ids)
+        self.attacker = self.system.core(self.ATTACKER_CORE)
+        self.victim = self.system.core(self.VICTIM_CORE)
+        # Share the probe-array pages between the two address spaces
+        # (models a shared library or page-deduplicated data).
+        attacker_space = self.system.page_tables.address_space(
+            ATTACKER_PROCESS)
+        victim_space = self.system.page_tables.address_space(VICTIM_PROCESS)
+        self.shared_bytes = max(PAGE_SIZE, num_secret_values * 4 * LINE_SIZE)
+        for offset in range(0, self.shared_bytes, PAGE_SIZE):
+            attacker_space.share_page_with(victim_space,
+                                           SHARED_ARRAY_BASE + offset,
+                                           writable=True)
+        self._attacker_space = attacker_space
+        self._victim_space = victim_space
+        # Warm both cores' code lines and timing chains so the first real
+        # measurement is not polluted by cold instruction fetches.
+        self.attacker_timed_load(self.attacker_private_address(0))
+        self.victim_committed_work(2)
+
+    # -- address helpers ------------------------------------------------------
+    def probe_address(self, value: int) -> int:
+        """Shared-array element whose cache state encodes ``value``."""
+        return SHARED_ARRAY_BASE + value * 4 * LINE_SIZE
+
+    def attacker_private_address(self, index: int) -> int:
+        return ATTACKER_PRIVATE_BASE + index * LINE_SIZE
+
+    def attacker_physical(self, virtual_address: int) -> int:
+        """The attacker-space physical address (allocates on first use)."""
+        physical = self._attacker_space.translate(virtual_address)
+        assert physical is not None
+        return physical
+
+    def shared_physical(self, virtual_address: int) -> int:
+        physical = self._victim_space.translate(virtual_address)
+        assert physical is not None
+        return physical
+
+    # -- attacker operations (committed, on core 0) ---------------------------
+    def attacker_timed_load(self, virtual_address: int) -> int:
+        """Execute a committed attacker load; returns its memory latency.
+
+        The load depends on a just-produced register, so its issue time is
+        pinned to the producer's completion; the difference between the two
+        completion times is exactly the latency the memory system charged.
+        The producer in turn depends on the *previous* timed load, which
+        serialises the attacker's probes — each one issues only after the
+        last completed, exactly like the dependency chains real timing
+        attacks build around ``rdtsc``.
+        """
+        core = self.attacker
+        pc = self.ATTACKER_CODE
+        core.execute_op(MicroOp(kind=OpKind.INT_ALU, pc=pc,
+                                src_regs=(self._DEST_REG,),
+                                dst_reg=self._SYNC_REG))
+        start = core.register_ready_time(self._SYNC_REG)
+        core.execute_op(MicroOp(kind=OpKind.LOAD, pc=pc + 4,
+                                address=virtual_address,
+                                src_regs=(self._SYNC_REG,),
+                                dst_reg=self._DEST_REG))
+        return core.register_ready_time(self._DEST_REG) - start
+
+    def attacker_probe_all(self) -> Dict[int, int]:
+        """Time a committed reload of every probe-array element."""
+        return {value: self.attacker_timed_load(self.probe_address(value))
+                for value in range(self.num_secret_values)}
+
+    # -- victim operations (on core 1) ----------------------------------------
+    def victim_committed_work(self, count: int = 4) -> None:
+        """Committed victim instructions (warms its fetch path / clock)."""
+        for _ in range(count):
+            self.victim.execute_op(MicroOp(kind=OpKind.INT_ALU,
+                                           pc=self.VICTIM_CODE,
+                                           dst_reg=self._SYNC_REG))
+
+    def victim_load_secret(self) -> None:
+        """The victim's committed load of its own secret (ordinary work)."""
+        self.victim.execute_op(MicroOp(kind=OpKind.LOAD, pc=self.VICTIM_CODE,
+                                       address=VICTIM_SECRET_ADDRESS,
+                                       dst_reg=9))
+
+    def victim_speculative_touch(self, addresses: Sequence[int],
+                                 load_secret: bool = True) -> None:
+        """The victim's Spectre gadget, through the real core.
+
+        A committed load reads the victim's secret (unless the caller
+        already issued it via :meth:`victim_load_secret`), then a
+        deliberately mispredicted branch issues wrong-path loads at the
+        given (secret-dependent) addresses.  The core sends them into the
+        memory system speculatively and squashes them when the branch
+        resolves — none of them ever commits.
+        """
+        core = self.victim
+        pc = self.VICTIM_CODE
+        if load_secret:
+            self.victim_load_secret()
+        wrong_path = [WrongPathAccess(address=address, issue_offset=index + 1)
+                      for index, address in enumerate(addresses)]
+        core.execute_op(MicroOp(kind=OpKind.BRANCH, pc=pc + 4, taken=False,
+                                target=pc + 8, force_mispredict=True,
+                                wrong_path=wrong_path))
 
 
 def classify_probe(latencies: Dict[int, int]) -> Tuple[Optional[int], int]:

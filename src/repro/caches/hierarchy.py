@@ -27,6 +27,7 @@ from typing import Dict, Optional
 from repro.caches.base_cache import SetAssociativeCache
 from repro.coherence.bus import CoherenceBus
 from repro.coherence.protocol import AccessOutcome, CoherenceController
+from repro.coherence.snoop_filter import SnoopFilter
 from repro.coherence.states import CoherenceState, E, I, M, S
 from repro.common.params import SystemConfig
 from repro.common.rng import DeterministicRng
@@ -57,7 +58,14 @@ class HierarchyResult:
 
 
 class NonSpeculativeHierarchy:
-    """Private L1s + shared L2 + memory + MESI controller + L2 prefetcher."""
+    """Private L1s (+ optional private L2s) + shared LLC + memory + MESI.
+
+    With ``config.private_l2`` unset this is the historical topology: the
+    per-core L1s sit directly on the shared L2.  A co-run configuration
+    gives every core a private unified L2 between its L1s and the shared
+    cache, all stitched together by the same coherence bus — whose snoops
+    are scoped by a conservative :class:`SnoopFilter` directory.
+    """
 
     def __init__(self, config: SystemConfig,
                  stats: Optional[StatGroup] = None,
@@ -69,11 +77,14 @@ class NonSpeculativeHierarchy:
         self.memory = MainMemory(config.memory, stats=stats.child("memory"))
         self.l2 = SetAssociativeCache(config.l2, stats=stats.child("l2"),
                                       rng=rng.fork(1))
-        self.bus = CoherenceBus(stats=stats.child("bus"))
+        self.snoop_filter = SnoopFilter(stats=stats.child("snoop_filter"))
+        self.bus = CoherenceBus(stats=stats.child("bus"),
+                                snoop_filter=self.snoop_filter)
         self.controller = CoherenceController(self.bus, self.l2, self.memory,
                                               stats=stats.child("coherence"))
         self._l1d: Dict[int, SetAssociativeCache] = {}
         self._l1i: Dict[int, SetAssociativeCache] = {}
+        self._l2p: Dict[int, SetAssociativeCache] = {}
         for core_id in range(config.num_cores):
             l1d_stats = stats.child(f"core{core_id}").child("l1d")
             l1i_stats = stats.child(f"core{core_id}").child("l1i")
@@ -82,6 +93,12 @@ class NonSpeculativeHierarchy:
             self._l1i[core_id] = SetAssociativeCache(
                 config.l1i, stats=l1i_stats, rng=rng.fork(100 + core_id))
             self.bus.register_private_cache(core_id, self._l1d[core_id])
+            if config.private_l2 is not None:
+                l2p_stats = stats.child(f"core{core_id}").child("l2p")
+                self._l2p[core_id] = SetAssociativeCache(
+                    config.private_l2, stats=l2p_stats,
+                    rng=rng.fork(1000 + core_id))
+                self.bus.register_private_cache(core_id, self._l2p[core_id])
         self.l2_prefetcher: Prefetcher = (
             StreamPrefetcher(line_size=config.l2.line_size,
                              degree=config.l2.prefetch_degree + 1,
@@ -113,6 +130,10 @@ class NonSpeculativeHierarchy:
 
     def l1i(self, core_id: int) -> SetAssociativeCache:
         return self._l1i[core_id]
+
+    def private_l2(self, core_id: int) -> Optional[SetAssociativeCache]:
+        """The core's private L2, or None in the shared-L2 topology."""
+        return self._l2p.get(core_id)
 
     def line_address(self, address: int) -> int:
         return self.l2.line_address(address)
@@ -219,6 +240,27 @@ class NonSpeculativeHierarchy:
             latency = max(1, mshr_entry.ready_time - now)
             return HierarchyResult(latency=l1.config.hit_latency + latency,
                                    hit_level="mshr")
+        l2p = self._l2p.get(core_id)
+        if l2p is not None:
+            pline = l2p.lookup(line_address, now)
+            if pline is not None and (not is_store or pline.state.is_private):
+                # Served entirely within the core's private hierarchy: no
+                # bus transaction, the L1 refills from the private L2.
+                l2p.record_hit()
+                latency = l1.config.hit_latency + l2p.config.hit_latency
+                if is_store:
+                    pline.state = M
+                    pline.dirty = True
+                state = M if is_store else pline.state
+                if fill_l1:
+                    l1.fill(line_address, state, now + latency,
+                            dirty=is_store,
+                            writeback_handler=lambda victim:
+                            self._writeback_from_l1(core_id, victim.address,
+                                                    now + latency))
+                return HierarchyResult(latency=latency, hit_level="l2p",
+                                       granted_state=state)
+            l2p.record_miss()
         if is_store:
             already_private = line is not None and line.state.is_private
             outcome = self.controller.write(core_id, line_address, now,
@@ -242,8 +284,16 @@ class NonSpeculativeHierarchy:
             state = M if is_store else outcome.granted_state
             l1.fill(line_address, state, now + total_latency,
                     dirty=is_store,
-                    writeback_handler=lambda victim: self._writeback_to_l2(
-                        victim.address, now + total_latency))
+                    writeback_handler=lambda victim: self._writeback_from_l1(
+                        core_id, victim.address, now + total_latency))
+            if l2p is not None:
+                l2p.fill(line_address, state, now + total_latency,
+                         dirty=is_store,
+                         writeback_handler=lambda victim:
+                         self._writeback_to_l2(victim.address,
+                                               now + total_latency))
+            if l2p is not None or not instruction:
+                self.bus.note_fill(core_id, line_address)
         if train_prefetcher and not instruction and outcome.hit_level in (
                 "l2", "memory"):
             self.train_l2_prefetcher(line_address, pc, now, was_miss=True)
@@ -256,6 +306,18 @@ class NonSpeculativeHierarchy:
         self.l2.fill(line_address, M, now, dirty=True,
                      writeback_handler=lambda victim: self.memory.write(
                          victim.address, now))
+
+    def _writeback_from_l1(self, core_id: int, line_address: int,
+                           now: int) -> None:
+        """A dirty L1 victim lands in the private L2 (or the shared LLC)."""
+        l2p = self._l2p.get(core_id)
+        if l2p is None:
+            self._writeback_to_l2(line_address, now)
+            return
+        l2p.fill(line_address, M, now, dirty=True,
+                 writeback_handler=lambda victim: self._writeback_to_l2(
+                     victim.address, now))
+        self.bus.note_fill(core_id, line_address)
 
     # -- MuonTrap filter-cache path ---------------------------------------------
     def read_for_filter(self, core_id: int, address: int, now: int, *,
@@ -291,6 +353,18 @@ class NonSpeculativeHierarchy:
             latency = max(1, mshr_entry.ready_time - now)
             return HierarchyResult(latency=l1.config.hit_latency + latency,
                                    hit_level="mshr")
+        l2p = self._l2p.get(core_id)
+        if l2p is not None:
+            pline = l2p.lookup(line_address, now)
+            if pline is not None:
+                # The private L2 is on the filter cache's linear path to
+                # memory, so it may supply the line (section 4.5).
+                l2p.record_hit()
+                latency = l1.config.hit_latency + l2p.config.hit_latency
+                return HierarchyResult(
+                    latency=latency, hit_level="l2p", granted_state=S,
+                    exclusive_available=pline.state.is_private)
+            l2p.record_miss()
         outcome = self.controller.read(core_id, line_address, now,
                                        speculative=speculative,
                                        protect_coherence=protect_coherence,
@@ -325,7 +399,25 @@ class NonSpeculativeHierarchy:
         """
         l1 = self._l1i[core_id] if instruction else self._l1d[core_id]
         line_address = l1.line_address(address)
+        l2p = self._l2p.get(core_id)
         if l1.probe(line_address) is None:
+            if self.config.num_cores > 1:
+                # A peer may have acquired the line privately since the
+                # filter cache read it (e.g. a committed store invalidated
+                # the filter copy before this commit).  Installing a Shared
+                # copy next to an M/E owner would break the single-writer
+                # invariant, so downgrade the owner first — asynchronously,
+                # like the fill itself, so commit latency is unaffected.
+                snoop = self.bus.snoop(core_id, line_address)
+                if snoop.dirty_owner is not None:
+                    self.bus.downgrade_core(snoop.dirty_owner, line_address,
+                                            S)
+                    self.l2.fill(line_address, S, now, dirty=True,
+                                 writeback_handler=lambda victim:
+                                 self.memory.write(victim.address, now))
+                elif snoop.exclusive_owner is not None:
+                    self.bus.downgrade_core(snoop.exclusive_owner,
+                                            line_address, S)
             ready_at = now
             prefetched = False
             if asynchronous_reload:
@@ -337,8 +429,14 @@ class NonSpeculativeHierarchy:
             state = E if exclusive else S
             l1.fill(line_address, state, now, prefetched=prefetched,
                     ready_at=ready_at,
-                    writeback_handler=lambda victim: self._writeback_to_l2(
-                        victim.address, now))
+                    writeback_handler=lambda victim: self._writeback_from_l1(
+                        core_id, victim.address, now))
+            if l2p is not None and l2p.probe(line_address) is None:
+                l2p.fill(line_address, state, now,
+                         writeback_handler=lambda victim:
+                         self._writeback_to_l2(victim.address, now))
+            if l2p is not None or not instruction:
+                self.bus.note_fill(core_id, line_address)
             if self.l2.probe(line_address) is None:
                 # Keep the (mostly-inclusive) shared L2 aware of the line so
                 # later evictions and snoops behave sensibly.
@@ -367,14 +465,32 @@ class NonSpeculativeHierarchy:
             line.dirty = True
             return HierarchyResult(latency=l1.config.hit_latency,
                                    hit_level="l1", granted_state=M)
+        l2p = self._l2p.get(core_id)
+        if l2p is not None:
+            pline = l2p.lookup(line_address, now)
+            if pline is not None and pline.state.is_private:
+                # Ownership already held within the private hierarchy.
+                pline.state = M
+                pline.dirty = True
+                l1.fill(line_address, M, now, dirty=True,
+                        writeback_handler=lambda victim:
+                        self._writeback_from_l1(core_id, victim.address, now))
+                return HierarchyResult(
+                    latency=l1.config.hit_latency + l2p.config.hit_latency,
+                    hit_level="l2p", granted_state=M)
         outcome = self.controller.write(
             core_id, line_address, now, already_private=False,
             broadcast_to_filters=broadcast_to_filters)
         if broadcast_to_filters:
             self._store_filter_broadcasts.increment()
         l1.fill(line_address, M, now + outcome.latency, dirty=True,
-                writeback_handler=lambda victim: self._writeback_to_l2(
-                    victim.address, now + outcome.latency))
+                writeback_handler=lambda victim: self._writeback_from_l1(
+                    core_id, victim.address, now + outcome.latency))
+        if l2p is not None:
+            l2p.fill(line_address, M, now + outcome.latency, dirty=True,
+                     writeback_handler=lambda victim: self._writeback_to_l2(
+                         victim.address, now + outcome.latency))
+        self.bus.note_fill(core_id, line_address)
         return HierarchyResult(
             latency=l1.config.hit_latency + outcome.latency,
             hit_level=outcome.hit_level, granted_state=M,

@@ -1,11 +1,20 @@
-"""The snooping interconnect between private caches and the shared L2.
+"""The snooping interconnect between private caches and the shared LLC.
 
-The bus tracks which private (per-core) caches are registered, lets the
-coherence controller probe and downgrade them, and carries the two kinds of
-broadcast MuonTrap adds: negative acknowledgements (NACKs) of speculative
-requests that would disturb another core's private M/E line (section 4.5,
-"reduced coherency speculation"), and filter-cache invalidation broadcasts
-on exclusive upgrades (the cost measured in Figure 7).
+The bus tracks which private (per-core) caches are registered — each core
+contributes its L1 data cache and, in co-run topologies, its private unified
+L2 — lets the coherence controller probe and downgrade them, and carries the
+two kinds of broadcast MuonTrap adds: negative acknowledgements (NACKs) of
+speculative requests that would disturb another core's private M/E line
+(section 4.5, "reduced coherency speculation"), and filter-cache
+invalidation broadcasts on exclusive upgrades (the cost measured in
+Figure 7).
+
+When a :class:`~repro.coherence.snoop_filter.SnoopFilter` is attached, the
+bus consults it before probing: the directory is a conservative superset of
+the true holders (see its module docstring), so an empty lookup proves the
+other caches hold nothing and the probe — whose outcome would be empty — is
+skipped.  The snoop *latency* is charged either way, so attaching the
+filter never changes timing, only the amount of probing work.
 """
 
 from __future__ import annotations
@@ -13,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
+from repro.coherence.snoop_filter import SnoopFilter
 from repro.coherence.states import CoherenceState, I, S
 from repro.common.statistics import StatGroup
 
@@ -47,10 +57,12 @@ class CoherenceBus:
 
     def __init__(self, stats: Optional[StatGroup] = None,
                  snoop_latency: int = 8,
-                 dirty_transfer_latency: int = 12) -> None:
+                 dirty_transfer_latency: int = 12,
+                 snoop_filter: Optional[SnoopFilter] = None) -> None:
         self.snoop_latency = snoop_latency
         self.dirty_transfer_latency = dirty_transfer_latency
-        self._private_caches: Dict[int, "SetAssociativeCache"] = {}
+        self.snoop_filter = snoop_filter
+        self._private_caches: Dict[int, List["SetAssociativeCache"]] = {}
         self._filter_listeners: Dict[int, List[FilterInvalidationListener]] = {}
         stats = stats or StatGroup("bus")
         self.stats = stats
@@ -65,7 +77,8 @@ class CoherenceBus:
     # -- registration -------------------------------------------------------
     def register_private_cache(self, core_id: int,
                                cache: "SetAssociativeCache") -> None:
-        self._private_caches[core_id] = cache
+        """Register one of a core's private caches (repeatable per core)."""
+        self._private_caches.setdefault(core_id, []).append(cache)
 
     def register_filter_listener(self, core_id: int,
                                  listener: FilterInvalidationListener) -> None:
@@ -76,22 +89,50 @@ class CoherenceBus:
         return sorted(self._private_caches)
 
     def private_cache(self, core_id: int) -> "SetAssociativeCache":
+        """The core's first-registered private cache (its L1 data cache)."""
+        return self._private_caches[core_id][0]
+
+    def private_caches(self, core_id: int) -> List["SetAssociativeCache"]:
         return self._private_caches[core_id]
+
+    # -- snoop-filter bookkeeping --------------------------------------------
+    def note_fill(self, core_id: int, line_address: int) -> None:
+        """A private cache of ``core_id`` gained a copy of the line."""
+        if self.snoop_filter is not None:
+            self.snoop_filter.record_fill(core_id, line_address)
 
     # -- snooping -----------------------------------------------------------
     def snoop(self, requester: int, line_address: int) -> SnoopResult:
         """Find where (other than the requester) the line currently lives."""
         self._snoops.increment()
         result = SnoopResult()
-        for core_id, cache in self._private_caches.items():
+        snoop_filter = self.snoop_filter
+        if (snoop_filter is not None and snoop_filter.precise
+                and not snoop_filter.needs_snoop(requester, line_address)):
+            # The directory proves no other core holds the line; probing
+            # every cache would find exactly this empty result.
+            return result
+        for core_id, caches in self._private_caches.items():
             if core_id == requester:
                 continue
-            line = cache.probe(line_address)
-            if line is None or not line.valid:
+            strongest: Optional[CoherenceState] = None
+            for cache in caches:
+                line = cache.probe(line_address)
+                if line is None or not line.valid:
+                    continue
+                state = line.state
+                if state is CoherenceState.MODIFIED:
+                    strongest = state
+                    break
+                if state is CoherenceState.EXCLUSIVE:
+                    strongest = state
+                elif strongest is None:
+                    strongest = state
+            if strongest is None:
                 continue
-            if line.state is CoherenceState.MODIFIED:
+            if strongest is CoherenceState.MODIFIED:
                 result.dirty_owner = core_id
-            elif line.state is CoherenceState.EXCLUSIVE:
+            elif strongest is CoherenceState.EXCLUSIVE:
                 result.exclusive_owner = core_id
             else:
                 result.sharers.append(core_id)
@@ -101,19 +142,33 @@ class CoherenceBus:
         self._nacks.increment()
 
     # -- state-changing broadcasts -------------------------------------------
-    def downgrade_others(self, requester: int, line_address: int,
-                         to_state: CoherenceState = S) -> int:
-        """Downgrade every other private copy; returns how many were touched."""
+    def downgrade_core(self, core_id: int, line_address: int,
+                       to_state: CoherenceState = S) -> int:
+        """Downgrade every private cache of one core; returns copies touched."""
         touched = 0
-        for core_id, cache in self._private_caches.items():
-            if core_id == requester:
-                continue
+        for cache in self._private_caches.get(core_id, ()):
             if cache.downgrade(line_address, to_state) is not None:
                 touched += 1
-                if to_state is I:
-                    self._invalidations.increment()
-                else:
-                    self._downgrades.increment()
+        if touched:
+            if to_state is I:
+                self._invalidations.increment()
+            else:
+                self._downgrades.increment()
+        if to_state is I and self.snoop_filter is not None:
+            # All of the core's private caches lost the line, so the
+            # directory entry can be retired safely.
+            self.snoop_filter.record_eviction(core_id, line_address)
+        return touched
+
+    def downgrade_others(self, requester: int, line_address: int,
+                         to_state: CoherenceState = S) -> int:
+        """Downgrade every other core's copies; returns cores touched."""
+        touched = 0
+        for core_id in self._private_caches:
+            if core_id == requester:
+                continue
+            if self.downgrade_core(core_id, line_address, to_state):
+                touched += 1
         return touched
 
     def invalidate_others(self, requester: int, line_address: int) -> int:
@@ -125,7 +180,9 @@ class CoherenceBus:
 
         Used on exclusive upgrades when the writer did not already hold the
         line privately (section 4.5); Figure 7 reports how often this is
-        needed.
+        needed.  The broadcast is deliberately *not* scoped by the snoop
+        filter: filter caches are invisible to the directory, and the paper
+        requires the broadcast to be timing-invariant.
         """
         self._filter_broadcasts.increment()
         notified = 0

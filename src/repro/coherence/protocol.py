@@ -12,8 +12,9 @@ same controller serves every protection mode.
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 from repro.coherence.bus import CoherenceBus
 from repro.coherence.states import CoherenceState, E, I, M, S
@@ -22,6 +23,57 @@ from repro.memory.main_memory import MainMemory
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance, typing only
     from repro.caches.base_cache import SetAssociativeCache
+
+
+class MesiEvent(enum.Enum):
+    """The events that drive one cache's MESI state machine."""
+
+    LOCAL_READ = "local-read"     # this cache's core reads the line
+    LOCAL_WRITE = "local-write"   # this cache's core writes the line
+    REMOTE_READ = "remote-read"   # another core's read snoops this cache
+    REMOTE_WRITE = "remote-write"  # another core's write/upgrade snoops it
+    EVICT = "evict"               # the line is evicted or invalidated
+
+
+#: The complete per-cache MESI transition table.  Every (state, event) pair
+#: is present; the controller below realises these transitions across the
+#: private caches, the shared LLC and memory, and the exhaustive test in
+#: ``tests/coherence/test_protocol.py`` enumerates the table against the
+#: invariants the protocol must keep (single writer, no stale readers).
+#:
+#: ``LOCAL_READ``/``LOCAL_WRITE`` from Invalid describe the state the
+#: requester is *granted*; a read miss is granted Exclusive only when the
+#: snoop (or snoop filter) proves no other copy exists, which the table
+#: cannot see, so Invalid + LOCAL_READ conservatively maps to Shared and
+#: the controller upgrades the grant to Exclusive when it may.
+MESI_TRANSITIONS: Dict[Tuple[CoherenceState, MesiEvent],
+                       CoherenceState] = {
+    (M, MesiEvent.LOCAL_READ): M,
+    (M, MesiEvent.LOCAL_WRITE): M,
+    (M, MesiEvent.REMOTE_READ): S,    # writeback, then share
+    (M, MesiEvent.REMOTE_WRITE): I,
+    (M, MesiEvent.EVICT): I,
+    (E, MesiEvent.LOCAL_READ): E,
+    (E, MesiEvent.LOCAL_WRITE): M,    # silent upgrade
+    (E, MesiEvent.REMOTE_READ): S,
+    (E, MesiEvent.REMOTE_WRITE): I,
+    (E, MesiEvent.EVICT): I,
+    (S, MesiEvent.LOCAL_READ): S,
+    (S, MesiEvent.LOCAL_WRITE): M,    # needs an invalidating upgrade
+    (S, MesiEvent.REMOTE_READ): S,
+    (S, MesiEvent.REMOTE_WRITE): I,
+    (S, MesiEvent.EVICT): I,
+    (I, MesiEvent.LOCAL_READ): S,     # controller may grant E instead
+    (I, MesiEvent.LOCAL_WRITE): M,
+    (I, MesiEvent.REMOTE_READ): I,
+    (I, MesiEvent.REMOTE_WRITE): I,
+    (I, MesiEvent.EVICT): I,
+}
+
+
+def next_state(state: CoherenceState, event: MesiEvent) -> CoherenceState:
+    """The table lookup used by the controller for snoop-driven downgrades."""
+    return MESI_TRANSITIONS[(state, event)]
 
 
 @dataclass(slots=True)
@@ -114,9 +166,10 @@ class CoherenceController:
                                      granted_state=I, hit_level="nack")
             owner = (snoop.dirty_owner if snoop.dirty_owner is not None
                      else snoop.exclusive_owner)
-            owner_cache = self.bus.private_cache(owner)
             was_dirty = snoop.dirty_owner is not None
-            owner_cache.downgrade(line_address, S)
+            self.bus.downgrade_core(
+                owner, line_address,
+                next_state(M if was_dirty else E, MesiEvent.REMOTE_READ))
             if was_dirty:
                 # Writeback to the shared L2 so the requester reads clean data.
                 self.l2.fill(line_address, S, now + latency, dirty=True,

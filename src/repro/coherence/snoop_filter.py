@@ -1,10 +1,21 @@
-"""A snoop filter (sharer-tracking directory) for the shared L2.
+"""A snoop filter (sharer-tracking directory) for the shared LLC.
 
 The paper notes that MuonTrap's filter-cache invalidation broadcast must be
 timing-invariant even when a snoop filter is present, and that the broadcast
 only needs to reach cores below a shared cache that could hold the line.
-This module provides the sharer-tracking structure used to scope those
-multicasts and to keep snoop traffic statistics.
+This module provides the sharer-tracking structure the coherence bus uses to
+*skip* snoops of private caches that provably cannot hold a line, to scope
+multicasts, and to keep snoop traffic statistics.
+
+The directory is deliberately **conservative**: it records a core as a
+potential sharer on every fill, but only removes it when the bus invalidates
+every private cache of that core.  Silent (capacity) evictions inside a
+private cache therefore leave the entry in place, so the tracked sharer set
+is always a superset of the true holders — skipping a snoop when the set is
+empty can never change what the snoop would have found.  If the directory
+itself ever has to drop an entry for capacity, it marks itself *imprecise*
+and the bus falls back to probing every cache, keeping results bit-identical
+to a filterless bus.
 """
 
 from __future__ import annotations
@@ -22,6 +33,10 @@ class SnoopFilter:
                  max_entries: int = 64 * 1024) -> None:
         self.max_entries = max_entries
         self._sharers: Dict[int, Set[int]] = defaultdict(set)
+        #: False once a capacity eviction has dropped an entry: from then on
+        #: absence of an entry no longer proves absence of a copy, so the
+        #: bus must stop trusting empty lookups.
+        self.precise = True
         stats = stats or StatGroup("snoop_filter")
         self.stats = stats
         self._lookups = stats.counter("lookups")
@@ -33,12 +48,16 @@ class SnoopFilter:
         if (line_address not in self._sharers
                 and len(self._sharers) >= self.max_entries):
             # Capacity eviction: drop an arbitrary (oldest-inserted) entry.
+            # The dropped line may still live in a private cache, so the
+            # directory is no longer an over-approximation for it.
             victim = next(iter(self._sharers))
             del self._sharers[victim]
             self._evictions.increment()
+            self.precise = False
         self._sharers[line_address].add(core_id)
 
     def record_eviction(self, core_id: int, line_address: int) -> None:
+        """Every private cache of ``core_id`` lost its copy of the line."""
         sharers = self._sharers.get(line_address)
         if sharers is None:
             return
@@ -61,6 +80,10 @@ class SnoopFilter:
     def multicast_targets(self, requester: int, line_address: int) -> Set[int]:
         """Cores whose filter caches must receive an invalidation broadcast."""
         return self.sharers_of(line_address) - {requester}
+
+    @property
+    def filtered_snoops(self) -> int:
+        return self._filtered.value
 
     def __len__(self) -> int:
         return len(self._sharers)

@@ -212,6 +212,13 @@ class SystemConfig:
     l2: CacheConfig = field(default_factory=lambda: CacheConfig(
         name="l2", size_bytes=2 * 1024 * 1024, associativity=8,
         hit_latency=20, mshrs=16, prefetcher="stride"))
+    #: Optional *private*, unified per-core L2 between the L1s and the
+    #: shared ``l2`` (which then plays the role of the LLC).  ``None`` — the
+    #: historical topology — keeps the L1s directly on the shared L2.
+    #: Multi-programmed co-run systems enable this so each hardware context
+    #: owns a full private hierarchy stitched to the LLC through the
+    #: coherence bus and snoop filter.
+    private_l2: Optional[CacheConfig] = None
     data_filter: FilterCacheConfig = field(default_factory=FilterCacheConfig)
     inst_filter: FilterCacheConfig = field(default_factory=FilterCacheConfig)
     tlb: TLBConfig = field(default_factory=TLBConfig)
@@ -224,6 +231,10 @@ class SystemConfig:
         if self.l1d.line_size != self.l2.line_size:
             raise ValueError("cache line sizes must match across the "
                              "hierarchy (section 4.1 of the paper)")
+        if (self.private_l2 is not None
+                and self.private_l2.line_size != self.l2.line_size):
+            raise ValueError("private L2 line size must match the shared "
+                             "hierarchy")
 
     def with_mode(self, mode: ProtectionMode) -> "SystemConfig":
         return replace(self, mode=mode)
@@ -236,6 +247,10 @@ class SystemConfig:
 
     def with_data_filter(self, data_filter: FilterCacheConfig) -> "SystemConfig":
         return replace(self, data_filter=data_filter)
+
+    def with_private_l2(self,
+                        private_l2: Optional[CacheConfig]) -> "SystemConfig":
+        return replace(self, private_l2=private_l2)
 
 
 def default_system_config(mode: ProtectionMode = ProtectionMode.MUONTRAP,
@@ -253,3 +268,25 @@ def parsec_system_config(mode: ProtectionMode = ProtectionMode.MUONTRAP,
                          num_cores: int = 4) -> SystemConfig:
     """Four-core system used for Parsec experiments."""
     return default_system_config(mode=mode, num_cores=num_cores)
+
+
+#: Default geometry of the optional private per-core L2 used by co-run
+#: systems: 256 KiB 8-way, mid-way between the L1s and the shared LLC.
+DEFAULT_PRIVATE_L2 = CacheConfig(name="l2p", size_bytes=256 * 1024,
+                                 associativity=8, hit_latency=10, mshrs=8)
+
+
+def corun_system_config(mode: ProtectionMode = ProtectionMode.MUONTRAP,
+                        num_cores: int = 2,
+                        private_l2: bool = True) -> SystemConfig:
+    """A multi-programmed co-run system: one private hierarchy per core.
+
+    Each hardware context gets its own L1s (always) and, when
+    ``private_l2`` is set, a private unified L2; the shared ``l2`` of the
+    base configuration then acts as the LLC behind the coherence bus and
+    snoop filter.
+    """
+    config = default_system_config(mode=mode, num_cores=num_cores)
+    if private_l2:
+        config = config.with_private_l2(DEFAULT_PRIVATE_L2)
+    return config

@@ -773,6 +773,18 @@ class OutOfOrderCore:
                 self.execute_op(op)
         return self.result()
 
+    def register_ready_time(self, register: int) -> int:
+        """Cycle at which ``register``'s value becomes available.
+
+        Used by attack harnesses and tests to time an individual
+        instruction through the real core: the completion time of an op's
+        destination register, minus the completion time of a producer it
+        depends on, is exactly the latency the memory system charged.
+        """
+        if 0 <= register < len(self._reg_ready):
+            return self._reg_ready[register]
+        return 0
+
     def result(self) -> CoreResult:
         return CoreResult(
             core_id=self.core_id,

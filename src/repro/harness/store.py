@@ -88,6 +88,9 @@ def result_to_dict(result: SimulationResult) -> Dict[str, Any]:
         "warmup_cycles": result.warmup_cycles,
         "stats": dict(result.stats),
         "core_results": [_jsonable(core) for core in result.core_results],
+        "core_benchmarks": list(result.core_benchmarks),
+        "core_warmup_cycles": list(result.core_warmup_cycles),
+        "core_warmup_instructions": list(result.core_warmup_instructions),
     }
 
 
@@ -101,6 +104,10 @@ def result_from_dict(payload: Dict[str, Any]) -> SimulationResult:
         stats=dict(payload.get("stats", {})),
         core_results=[CoreResult(**core)
                       for core in payload.get("core_results", [])],
+        core_benchmarks=list(payload.get("core_benchmarks", [])),
+        core_warmup_cycles=list(payload.get("core_warmup_cycles", [])),
+        core_warmup_instructions=list(
+            payload.get("core_warmup_instructions", [])),
     )
 
 

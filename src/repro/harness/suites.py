@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Sequence
 
+from repro.workloads.mixes import MIX_PROFILES
 from repro.workloads.profiles import (
     PARSEC_PROFILES,
     SPEC2006_PROFILES,
@@ -44,6 +45,9 @@ _BUILTIN_SUITES: Dict[str, List[str]] = {
     "spec_all": sorted(SPEC2006_PROFILES),
     "parsec": sorted(PARSEC_PROFILES),
     "mixed": sorted(list(SPEC2006_PROFILES) + list(PARSEC_PROFILES)),
+    #: The multi-programmed co-run mixes (one benchmark per core, distinct
+    #: address spaces, contention through the shared LLC and bus).
+    "mixes": sorted(MIX_PROFILES),
 }
 
 #: Suites registered at runtime (checked before the builtins so callers can

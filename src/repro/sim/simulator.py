@@ -1,11 +1,20 @@
 """The simulation driver.
 
-Executes one workload (single- or multi-threaded) on a
-:class:`~repro.sim.system.SimulatedSystem` and reports the execution time.
-Multi-threaded workloads are interleaved across cores in small instruction
-chunks so that the per-core clocks advance roughly together and the threads'
-memory traffic interacts in the shared L2 and on the coherence bus, which is
-what the Parsec experiments (Figures 4, 5, 6 and 8) depend on.
+Executes one workload (single-threaded, multi-threaded, or a multi-
+programmed co-run *mix*) on a :class:`~repro.sim.system.SimulatedSystem`
+and reports the execution time.  Workloads with several traces are
+interleaved across cores in small instruction chunks so that the per-core
+clocks advance roughly together and the threads' memory traffic interacts
+in the shared caches and on the coherence bus, which is what the Parsec
+experiments (Figures 4, 5, 6 and 8) and the cross-core attack scenarios
+depend on.
+
+For a co-run mix (see :mod:`repro.workloads.mixes`) each trace belongs to a
+different benchmark and process: every core then runs its own program in
+its own address space on its own private cache hierarchy, and the programs
+contend in the shared LLC and on the bus.  :attr:`SimulationResult.core_benchmarks`
+records which benchmark ran on which core and
+:meth:`SimulationResult.per_benchmark` splits the aggregate back out.
 
 Execution runs on the packed-trace fast path by default
 (:meth:`~repro.cpu.core.OutOfOrderCore.run_packed` over index ranges — no
@@ -37,10 +46,57 @@ class SimulationResult:
     core_results: List[CoreResult] = field(default_factory=list)
     stats: Dict[str, int] = field(default_factory=dict)
     warmup_cycles: int = 0
+    #: Which benchmark each core executed (one entry per occupied core).
+    #: For single-program workloads every entry equals :attr:`benchmark`;
+    #: for a co-run mix this records the per-core placement.
+    core_benchmarks: List[str] = field(default_factory=list)
+    #: Per-core warm-up cycle/instruction counts (empty when no warm-up was
+    #: run), so per-constituent views can exclude warm-up exactly as the
+    #: aggregate numbers do.
+    core_warmup_cycles: List[int] = field(default_factory=list)
+    core_warmup_instructions: List[int] = field(default_factory=list)
 
     @property
     def ipc(self) -> float:
         return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def is_corun(self) -> bool:
+        """True when different cores ran different benchmarks."""
+        return len(set(self.core_benchmarks)) > 1
+
+    def per_benchmark(self) -> Dict[str, "SimulationResult"]:
+        """Split a co-run result into one aggregate per constituent.
+
+        Each constituent's execution time is the maximum post-warm-up cycle
+        count over the cores it occupied and its instruction count the sum
+        of committed instructions minus warm-up over those cores, so the
+        parts use exactly the accounting of the aggregate numbers.  The
+        shared statistics tree is not split (it describes the whole
+        machine) and is left empty on the parts.
+        """
+        warmup_cycles = (self.core_warmup_cycles
+                         or [0] * len(self.core_results))
+        warmup_instructions = (self.core_warmup_instructions
+                               or [0] * len(self.core_results))
+        parts: Dict[str, SimulationResult] = {}
+        for benchmark in dict.fromkeys(self.core_benchmarks):
+            rows = [(core, warm_cycles, warm_instructions)
+                    for core, owner, warm_cycles, warm_instructions
+                    in zip(self.core_results, self.core_benchmarks,
+                           warmup_cycles, warmup_instructions)
+                    if owner == benchmark]
+            parts[benchmark] = SimulationResult(
+                benchmark=benchmark,
+                mode=self.mode,
+                cycles=max((core.cycles - warm_cycles
+                            for core, warm_cycles, _ in rows), default=0),
+                instructions=sum(core.committed_instructions
+                                 - warm_instructions
+                                 for core, _, warm_instructions in rows),
+                core_results=[core for core, _, _ in rows],
+                core_benchmarks=[benchmark] * len(rows))
+        return parts
 
     def normalised_to(self, baseline: "SimulationResult") -> float:
         """Execution time relative to a baseline run (the paper's metric)."""
@@ -84,6 +140,8 @@ class Simulator:
         if not 0.0 <= warmup_fraction < 1.0:
             raise ValueError("warmup_fraction must be in [0, 1)")
         warmup_cycles = 0
+        warmup_ends: List[int] = []
+        splits: List[int] = []
         if warmup_fraction > 0.0:
             splits = [int(len(trace.ops) * warmup_fraction)
                       for trace in traces]
@@ -118,7 +176,10 @@ class Simulator:
             instructions=instructions,
             core_results=core_results,
             stats=stats,
-            warmup_cycles=warmup_cycles)
+            warmup_cycles=warmup_cycles,
+            core_benchmarks=[trace.benchmark for trace in traces],
+            core_warmup_cycles=warmup_ends[:len(traces)],
+            core_warmup_instructions=splits)
 
     def run_trace_on_core(self, trace: Trace, core_index: int) -> CoreResult:
         """Run a single trace to completion on one core (test helper)."""

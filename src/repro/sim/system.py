@@ -6,6 +6,16 @@ protection mode determines which memory system is instantiated; the
 MuonTrap ablation points of Figures 8 and 9 are expressed through the
 :class:`~repro.common.params.ProtectionConfig` carried by the system
 configuration.
+
+Multi-core machines come in two topologies.  The historical one puts every
+core's private L1s directly on the shared L2.  Co-run systems (built from
+:func:`~repro.common.params.corun_system_config`) additionally give each
+hardware context a private unified L2, so each core owns a full private
+hierarchy — L1s, private L2 and, per protection mode, filter caches —
+stitched to the shared LLC through the coherence bus and snoop filter.
+``process_ids`` assigns an address space per core: one shared process for
+multi-threaded workloads (Parsec), distinct processes for multi-programmed
+co-run mixes and for cross-core attacker/victim pairs.
 """
 
 from __future__ import annotations
@@ -75,6 +85,11 @@ class SimulatedSystem:
     @property
     def num_cores(self) -> int:
         return len(self.cores)
+
+    @property
+    def hierarchy(self):
+        """The shared non-speculative hierarchy (bus, snoop filter, LLC)."""
+        return getattr(self.memory_system, "hierarchy", None)
 
 
 def build_system(config: SystemConfig, seed: int = 0,

@@ -7,6 +7,13 @@ from repro.workloads.cache import (
     trace_key,
 )
 from repro.workloads.generator import TraceGenerator, generate_workload
+from repro.workloads.mixes import (
+    MIX_PROFILES,
+    MixProfile,
+    generate_mix,
+    get_mix,
+    mix_names,
+)
 from repro.workloads.profiles import (
     PARSEC_PROFILES,
     SPEC2006_PROFILES,
@@ -18,6 +25,8 @@ from repro.workloads.profiles import (
 from repro.workloads.trace import PackedTrace, Trace, WorkloadTraces
 
 __all__ = [
+    "MIX_PROFILES",
+    "MixProfile",
     "PARSEC_PROFILES",
     "SPEC2006_PROFILES",
     "PackedTrace",
@@ -28,8 +37,11 @@ __all__ = [
     "WorkloadProfile",
     "WorkloadTraces",
     "active_trace_cache",
+    "generate_mix",
     "generate_workload",
+    "get_mix",
     "get_profile",
+    "mix_names",
     "parsec_benchmarks",
     "spec_benchmarks",
     "trace_key",

@@ -332,9 +332,14 @@ class TraceGenerator:
         return MicroOp(kind=kind, pc=pc, src_regs=src_regs, dst_reg=dst)
 
 
-def generate_workload(profile: WorkloadProfile, instructions: int,
+def generate_workload(profile, instructions: int,
                       seed: int = 0, process_id: int = 0) -> WorkloadTraces:
     """Convenience wrapper used by the experiment harness.
+
+    Accepts a :class:`~repro.workloads.profiles.WorkloadProfile` or a
+    :class:`~repro.workloads.mixes.MixProfile`; the latter is composed from
+    its constituents (each cached individually) by
+    :func:`repro.workloads.mixes.generate_mix`.
 
     Generation is pure in its arguments, so results are cached through
     :mod:`repro.workloads.cache` (in-memory LRU, plus an on-disk tier when
@@ -343,6 +348,15 @@ def generate_workload(profile: WorkloadProfile, instructions: int,
     trace once.  Cached workloads are shared objects: treat them as
     immutable, as all harness code does.
     """
+    from repro.workloads.mixes import MixProfile, generate_mix
+    if isinstance(profile, MixProfile):
+        # Mixes are composed by reference from their (individually cached)
+        # constituents, so composition is nearly free; caching the composed
+        # bundle as well would duplicate every constituent trace in the
+        # cache (and, on the disk tier, pickle full copies of the shared
+        # ops), for no generation saved.
+        return generate_mix(profile, instructions, seed=seed)
+
     from repro.workloads.cache import active_trace_cache, trace_key
     cache = active_trace_cache()
     if cache is None:

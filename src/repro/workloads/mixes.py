@@ -1,0 +1,119 @@
+"""Multi-programmed co-run mixes.
+
+A :class:`MixProfile` names a tuple of constituent benchmarks that run
+*concurrently on different cores in different address spaces*, contending
+in the shared LLC and on the coherence bus.  This is the multi-programmed
+counterpart of the multi-threaded Parsec workloads: where Parsec threads
+share one process and cooperate, mix constituents are independent programs
+whose only interaction is through the shared levels of the memory system —
+the scenario the paper's cross-core attacks (and the co-run methodology of
+the ISCA evaluation retrospectives) are about.
+
+Mixes are first-class benchmarks: :func:`repro.workloads.profiles.get_profile`
+resolves their names, the suite registry exposes them (suite ``mixes``), and
+campaigns sweep them over schemes × seeds like any other workload.  Mix
+composition reuses the trace cache per *constituent*: each member's trace is
+generated (or fetched) exactly as it would be for a single-program run and
+then re-bound, without copying the instruction stream or its packed view,
+to the mix's per-core process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.workloads.profiles import (
+    PARSEC_PROFILES,
+    SPEC2006_PROFILES,
+    WorkloadProfile,
+)
+from repro.workloads.trace import Trace, WorkloadTraces
+
+
+@dataclass(frozen=True)
+class MixProfile:
+    """A named multi-programmed workload: one constituent per process."""
+
+    name: str
+    members: Tuple[str, ...]
+    suite: str = "mix"
+
+    def __post_init__(self) -> None:
+        if len(self.members) < 2:
+            raise ValueError("a mix needs at least two constituents")
+        for member in self.members:
+            if (member not in SPEC2006_PROFILES
+                    and member not in PARSEC_PROFILES):
+                raise ValueError(f"unknown mix constituent: {member!r}")
+
+    @property
+    def num_threads(self) -> int:
+        """Hardware contexts the mix occupies (one per constituent thread)."""
+        return sum(self.member_profile(index).num_threads
+                   for index in range(len(self.members)))
+
+    def member_profile(self, index: int) -> WorkloadProfile:
+        member = self.members[index]
+        if member in SPEC2006_PROFILES:
+            return SPEC2006_PROFILES[member]
+        return PARSEC_PROFILES[member]
+
+
+def _mix(name: str, *members: str) -> MixProfile:
+    return MixProfile(name=name, members=tuple(members))
+
+
+#: The built-in co-run mixes.  Pairings follow the classic co-run taxonomy:
+#: pointer-chasing (mcf, omnetpp), streaming (lbm, libquantum), cache-
+#: sensitive (xalancbmk) and compute-bound (povray) programs combined so
+#: that LLC contention, prefetcher interference and coherence traffic are
+#: each exercised; ``mix-quad`` fills four cores.
+MIX_PROFILES: Dict[str, MixProfile] = {
+    profile.name: profile for profile in [
+        _mix("mix-pointer-stream", "mcf", "lbm"),
+        _mix("mix-pointer-pointer", "mcf", "omnetpp"),
+        _mix("mix-stream-stream", "lbm", "libquantum"),
+        _mix("mix-compute-memory", "povray", "mcf"),
+        _mix("mix-cache-stream", "xalancbmk", "libquantum"),
+        _mix("mix-quad", "mcf", "lbm", "omnetpp", "libquantum"),
+    ]
+}
+
+
+def mix_names() -> List[str]:
+    return sorted(MIX_PROFILES)
+
+
+def get_mix(name: str) -> MixProfile:
+    if name not in MIX_PROFILES:
+        raise KeyError(f"unknown mix: {name!r}")
+    return MIX_PROFILES[name]
+
+
+def generate_mix(mix: MixProfile, instructions: int,
+                 seed: int = 0) -> WorkloadTraces:
+    """Generate the co-run workload for one mix.
+
+    Each constituent is generated through :func:`generate_workload` with
+    the *same* arguments a single-program run of that benchmark would use,
+    so the trace cache (in-memory and on-disk) is shared with ordinary
+    sweeps; the resulting traces — including their already-built
+    :class:`~repro.workloads.trace.PackedTrace` views — are re-bound by
+    reference to the mix's process layout (constituent ``k`` becomes
+    process ``k``), never copied.  Cached traces are shared, immutable
+    objects, exactly as the harness treats every generated workload.
+    """
+    from repro.workloads.generator import generate_workload
+
+    traces: List[Trace] = []
+    for process_id, member in enumerate(mix.members):
+        member_workload = generate_workload(mix.member_profile(process_id),
+                                            instructions, seed=seed)
+        for trace in member_workload:
+            traces.append(Trace(benchmark=trace.benchmark,
+                                thread_id=len(traces),
+                                process_id=process_id,
+                                ops=trace.ops,
+                                _packed=trace._packed))
+    return WorkloadTraces(benchmark=mix.name, suite="mix", traces=traces)

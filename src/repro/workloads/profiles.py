@@ -370,10 +370,19 @@ def parsec_benchmarks() -> List[str]:
     return list(PARSEC_PROFILES)
 
 
-def get_profile(name: str) -> WorkloadProfile:
-    """Look a profile up by benchmark name in either suite."""
+def get_profile(name: str):
+    """Look a profile up by benchmark (or co-run mix) name.
+
+    Returns a :class:`WorkloadProfile` for SPEC/Parsec names and a
+    :class:`~repro.workloads.mixes.MixProfile` for multi-programmed mixes;
+    both carry ``name``, ``suite`` and ``num_threads``, which is all the
+    harness layers rely on.
+    """
     if name in SPEC2006_PROFILES:
         return SPEC2006_PROFILES[name]
     if name in PARSEC_PROFILES:
         return PARSEC_PROFILES[name]
+    from repro.workloads.mixes import MIX_PROFILES  # lazy: avoids a cycle
+    if name in MIX_PROFILES:
+        return MIX_PROFILES[name]
     raise KeyError(f"unknown benchmark: {name!r}")

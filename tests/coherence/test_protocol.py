@@ -1,13 +1,27 @@
 """Tests for the MESI coherence controller, bus and snoop filter."""
 
+import itertools
+import random
+
 import pytest
 
 from repro.caches.base_cache import SetAssociativeCache
+from repro.caches.hierarchy import NonSpeculativeHierarchy
 from repro.coherence.bus import CoherenceBus
-from repro.coherence.protocol import CoherenceController
+from repro.coherence.protocol import (
+    MESI_TRANSITIONS,
+    CoherenceController,
+    MesiEvent,
+    next_state,
+)
 from repro.coherence.snoop_filter import SnoopFilter
 from repro.coherence.states import CoherenceState, E, I, M, S
-from repro.common.params import CacheConfig
+from repro.common.params import (
+    CacheConfig,
+    ProtectionMode,
+    SystemConfig,
+    corun_system_config,
+)
 from repro.memory.main_memory import MainMemory
 
 
@@ -116,6 +130,183 @@ class TestWritePath:
         controller.asynchronous_exclusive_upgrade(0, 0x8000, now=10)
         assert l1s[1].state_of(0x8000) is I
         assert invalidated == [0x8000]
+
+
+class TestMesiTransitionTable:
+    """Exhaustive enumeration of the (state, event) transition table."""
+
+    def test_table_is_total(self):
+        """Every (state, event) pair has exactly one entry."""
+        expected = set(itertools.product(CoherenceState, MesiEvent))
+        assert set(MESI_TRANSITIONS) == expected
+        assert len(MESI_TRANSITIONS) == len(CoherenceState) * len(MesiEvent)
+
+    @pytest.mark.parametrize("state,event",
+                             list(itertools.product(CoherenceState,
+                                                    MesiEvent)),
+                             ids=lambda value: getattr(value, "value", value))
+    def test_every_transition_preserves_protocol_invariants(self, state,
+                                                            event):
+        """Check each of the 20 transitions against the MESI axioms."""
+        result = next_state(state, event)
+        # Remote writes and evictions always end in Invalid.
+        if event in (MesiEvent.REMOTE_WRITE, MesiEvent.EVICT):
+            assert result is I
+        # A remote read never leaves a private (M/E) copy behind.
+        if event is MesiEvent.REMOTE_READ and state.is_valid:
+            assert not result.is_private
+        # A local write always ends with write permission.
+        if event is MesiEvent.LOCAL_WRITE:
+            assert result is M
+        # A local read never loses the line, and never *gains* write
+        # permission (only a write can).
+        if event is MesiEvent.LOCAL_READ:
+            assert result.is_valid
+            assert result.can_write == (state is M)
+        # Invalid is absorbing for remote events.
+        if state is I and event in (MesiEvent.REMOTE_READ,
+                                    MesiEvent.REMOTE_WRITE):
+            assert result is I
+
+    def test_silent_upgrade_only_from_exclusive(self):
+        """E -> M needs no bus transaction; S -> M does (invalidation)."""
+        assert next_state(E, MesiEvent.LOCAL_WRITE) is M
+        assert next_state(S, MesiEvent.LOCAL_WRITE) is M
+        # The controller realises the S -> M edge through an invalidating
+        # write; the E -> M edge through the already_private fast path.
+        _, l1s, _, _, controller = build_two_core_setup()
+        l1s[0].fill(0x9000, E, now=0)
+        outcome = controller.write(0, 0x9000, now=1, already_private=True)
+        assert outcome.latency == 0
+
+    def test_controller_read_realises_remote_read_edges(self):
+        """M/E owners end Shared after a peer read, as the table says."""
+        for owner_state in (M, E):
+            _, l1s, _, _, controller = build_two_core_setup()
+            l1s[0].fill(0x3000, owner_state, now=0,
+                        dirty=owner_state is M)
+            controller.read(1, 0x3000, now=10)
+            assert l1s[0].state_of(0x3000) is next_state(
+                owner_state, MesiEvent.REMOTE_READ)
+
+    def test_controller_write_realises_remote_write_edges(self):
+        """Any peer copy ends Invalid after a write, as the table says."""
+        for peer_state in (M, E, S):
+            _, l1s, _, _, controller = build_two_core_setup()
+            l1s[1].fill(0x4000, peer_state, now=0, dirty=peer_state is M)
+            controller.write(0, 0x4000, now=10)
+            assert l1s[1].state_of(0x4000) is next_state(
+                peer_state, MesiEvent.REMOTE_WRITE)
+
+
+def _private_holders(hierarchy, config, line_address):
+    """Cores holding the line in a bus-visible private cache, with states."""
+    holders = {}
+    for core_id in range(config.num_cores):
+        states = []
+        caches = [hierarchy.l1d(core_id)]
+        private_l2 = hierarchy.private_l2(core_id)
+        if private_l2 is not None:
+            caches.append(private_l2)
+        for cache in caches:
+            line = cache.probe(line_address)
+            if line is not None and line.valid:
+                states.append(line.state)
+        if states:
+            holders[core_id] = states
+    return holders
+
+
+def _assert_coherence_invariants(hierarchy, config, lines, context):
+    """Single-writer + conservative-directory invariants for every line."""
+    for line_address in lines:
+        holders = _private_holders(hierarchy, config, line_address)
+        private_owners = [core for core, states in holders.items()
+                          if any(state.is_private for state in states)]
+        # Single-writer: a core with an M/E copy is the *only* core with
+        # any valid copy.
+        if private_owners:
+            assert len(holders) == 1, (
+                f"{context}: line {line_address:#x} held privately by "
+                f"{private_owners} but also present in {sorted(holders)}")
+        # Conservative directory: every actual holder is tracked.
+        tracked = hierarchy.snoop_filter._sharers.get(line_address, set())
+        assert set(holders) <= tracked, (
+            f"{context}: line {line_address:#x} held by {sorted(holders)} "
+            f"but snoop filter tracks only {sorted(tracked)}")
+        assert hierarchy.snoop_filter.precise
+
+
+class TestRandomInterleavingInvariants:
+    """Sharer-set and single-writer invariants under random access storms.
+
+    Drives a real multi-core hierarchy (both topologies: shared-L2 and
+    private-L2) with a seed-pinned random interleaving of loads, stores,
+    committed stores and commit-fills from random cores over a small,
+    conflict-heavy line pool, checking the MESI invariants and the snoop
+    filter's conservative-superset property after every step.
+    """
+
+    LINES = [0x10000 + index * 64 for index in range(24)]
+    STEPS = 300
+
+    @pytest.mark.parametrize("topology", ["shared-l2", "private-l2"])
+    @pytest.mark.parametrize("seed", [3, 17])
+    def test_invariants_hold_under_random_interleaving(self, topology, seed):
+        config = (corun_system_config(ProtectionMode.UNPROTECTED,
+                                      num_cores=4)
+                  if topology == "private-l2"
+                  else SystemConfig(mode=ProtectionMode.UNPROTECTED,
+                                    num_cores=4))
+        hierarchy = NonSpeculativeHierarchy(config)
+        rng = random.Random(seed)
+        now = 0
+        for step in range(self.STEPS):
+            now += rng.randrange(1, 40)
+            core = rng.randrange(config.num_cores)
+            line = rng.choice(self.LINES)
+            action = rng.randrange(4)
+            if action == 0:
+                hierarchy.access(core, line, now)
+            elif action == 1:
+                hierarchy.access(core, line, now, is_store=True)
+            elif action == 2:
+                hierarchy.commit_store(core, line, now)
+            else:
+                hierarchy.commit_fill_l1(core, line, now,
+                                         exclusive=rng.random() < 0.5)
+            _assert_coherence_invariants(
+                hierarchy, config, self.LINES,
+                f"{topology}/seed={seed}/step={step}")
+
+    def test_snoop_filter_skips_only_provably_empty_snoops(self):
+        """Filtered snoops never change what a full probe would have found."""
+        config = SystemConfig(mode=ProtectionMode.UNPROTECTED, num_cores=4)
+        hierarchy = NonSpeculativeHierarchy(config)
+        rng = random.Random(99)
+        now = 0
+        for _ in range(200):
+            now += rng.randrange(1, 30)
+            core = rng.randrange(config.num_cores)
+            line = rng.choice(self.LINES)
+            is_store = rng.random() < 0.4
+            hierarchy.access(core, line, now, is_store=is_store)
+            # Compare the filtered snoop against a ground-truth probe of
+            # every cache.
+            for probe_line in rng.sample(self.LINES, 4):
+                requester = rng.randrange(config.num_cores)
+                filtered = hierarchy.bus.snoop(requester, probe_line)
+                truth = _private_holders(hierarchy, config, probe_line)
+                truth.pop(requester, None)
+                found = set(filtered.sharers)
+                if filtered.dirty_owner is not None:
+                    found.add(filtered.dirty_owner)
+                if filtered.exclusive_owner is not None:
+                    found.add(filtered.exclusive_owner)
+                assert found == set(truth), (
+                    f"snoop of {probe_line:#x} by {requester} found "
+                    f"{sorted(found)}, ground truth {sorted(truth)}")
+        assert hierarchy.snoop_filter.filtered_snoops > 0
 
 
 class TestSnoopFilter:

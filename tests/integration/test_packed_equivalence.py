@@ -11,7 +11,11 @@ small, is a bug in one of the engines.
 
 import pytest
 
-from repro.common.params import ProtectionMode, SystemConfig
+from repro.common.params import (
+    ProtectionMode,
+    SystemConfig,
+    corun_system_config,
+)
 from repro.harness.suites import resolve_suites
 from repro.sim.simulator import SimulationResult, Simulator
 from repro.sim.system import build_system
@@ -88,3 +92,53 @@ class TestPackedEquivalence:
                 packed = _run(mode, benchmark, SEEDS[1], use_packed=True)
                 per_op = _run(mode, benchmark, SEEDS[1], use_packed=False)
                 _assert_identical(packed, per_op, f"{mode.value}/{benchmark}")
+
+
+def _run_corun(mode: ProtectionMode, mix: str, seed: int,
+               use_packed: bool) -> SimulationResult:
+    profile = get_profile(mix)
+    config = corun_system_config(mode=mode, num_cores=profile.num_threads)
+    workload = generate_workload(profile, INSTRUCTIONS, seed=seed)
+    simulator = Simulator(build_system(config, seed=seed),
+                          use_packed=use_packed)
+    return simulator.run(workload, collect_stats=True, warmup_fraction=0.35)
+
+
+class TestCoRunPackedEquivalence:
+    """Multi-programmed co-run mixes through both engines, bit-identical.
+
+    This covers the whole co-run machinery — per-core private L1/L2
+    hierarchies, the snoop-filtered coherence bus, the shared LLC, distinct
+    address spaces per constituent — under both execution engines.
+    """
+
+    #: Two mixes chosen to cover 2-core and 4-core systems.
+    MIXES = ["mix-pointer-stream", "mix-quad"]
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("mode", SCHEMES,
+                             ids=[mode.value for mode in SCHEMES])
+    def test_corun_bit_identical_across_engines(self, mode, seed):
+        for mix in self.MIXES:
+            packed = _run_corun(mode, mix, seed, use_packed=True)
+            per_op = _run_corun(mode, mix, seed, use_packed=False)
+            _assert_identical(packed, per_op, f"{mode.value}/{mix}/{seed}")
+            assert packed.core_benchmarks == per_op.core_benchmarks
+            assert packed.is_corun
+
+    def test_corun_deterministic_across_runs(self):
+        """The same spec twice gives byte-identical results."""
+        first = _run_corun(ProtectionMode.MUONTRAP, "mix-pointer-stream",
+                           SEEDS[0], use_packed=True)
+        second = _run_corun(ProtectionMode.MUONTRAP, "mix-pointer-stream",
+                            SEEDS[0], use_packed=True)
+        _assert_identical(first, second, "determinism")
+
+    @pytest.mark.slow
+    def test_all_mixes_all_schemes_bit_identical(self):
+        """The broad sweep: every mix under every scheme (tier-2)."""
+        for mix in resolve_suites(["mixes"]):
+            for mode in SCHEMES:
+                packed = _run_corun(mode, mix, SEEDS[0], use_packed=True)
+                per_op = _run_corun(mode, mix, SEEDS[0], use_packed=False)
+                _assert_identical(packed, per_op, f"{mode.value}/{mix}")
