@@ -7,12 +7,15 @@ Subcommands:
 * ``report`` — render the table (text / markdown / CSV) for a matrix,
   executing only the cells the store does not already hold;
 * ``clean``  — empty the result store;
-* ``suites`` — list the known benchmark suites.
+* ``suites`` — list the known benchmark suites;
+* ``machines`` — list the heterogeneous machine presets.
 
 Examples::
 
     python -m repro run --suite spec_int --mode muontrap
     python -m repro run --suite parsec --mode all --jobs 8
+    python -m repro run --suite mixes --machine biglittle-muontrap \
+        --machine asym-protect
     python -m repro report --suite spec_int --mode muontrap --format csv
     python -m repro clean
 
@@ -33,6 +36,7 @@ from repro.harness.report import Report
 from repro.harness.store import ResultStore
 from repro.harness.suites import UnknownSuiteError, resolve_suites, suite_names
 from repro.sim.runner import unprotected_config
+from repro.workloads.mixes import get_machine, machine_names
 
 DEFAULT_STORE = ".repro-results"
 
@@ -60,7 +64,8 @@ def _store_path(args: argparse.Namespace) -> str:
     return args.store or os.environ.get("REPRO_STORE") or DEFAULT_STORE
 
 
-def _build_configs(modes: Sequence[str]) -> Dict[str, SystemConfig]:
+def _build_configs(modes: Sequence[str],
+                   machines: Sequence[str]) -> Dict[str, SystemConfig]:
     expanded: List[str] = []
     for mode in modes:
         expanded.extend(ALL_MODES if mode == "all" else [mode])
@@ -68,6 +73,8 @@ def _build_configs(modes: Sequence[str]) -> Dict[str, SystemConfig]:
     for mode in expanded:
         label = MODE_LABELS[mode]
         configs[label] = SystemConfig(mode=ProtectionMode(mode))
+    for machine in machines:
+        configs[machine] = get_machine(machine)
     return configs
 
 
@@ -75,7 +82,7 @@ def _build_campaign(args: argparse.Namespace) -> Campaign:
     store = None if args.no_store else ResultStore(_store_path(args))
     return Campaign.from_suites(
         args.suite,
-        configs=_build_configs(args.mode),
+        configs=_build_configs(args.mode, args.machine),
         baseline_config=unprotected_config(),
         baseline_label="baseline",
         instructions=args.instructions,
@@ -97,6 +104,11 @@ def _add_matrix_arguments(parser: argparse.ArgumentParser) -> None:
         help="protection scheme to evaluate against the unprotected "
              "baseline (repeatable; default: muontrap; 'all' = the five "
              "schemes of Figures 3 and 4)")
+    parser.add_argument(
+        "--machine", action="append", choices=machine_names(),
+        help="heterogeneous machine preset to evaluate as a series "
+             "(repeatable; big.LITTLE and asymmetric-protection "
+             "configurations; co-run mixes get per-constituent tables)")
     parser.add_argument("--instructions", type=int, default=None,
                         help="instructions per workload "
                              "(default: REPRO_INSTRUCTIONS or 8000)")
@@ -120,14 +132,28 @@ def _add_matrix_arguments(parser: argparse.ArgumentParser) -> None:
 
 def _normalise_matrix_defaults(args: argparse.Namespace) -> None:
     args.suite = args.suite or ["spec_int"]
-    args.mode = args.mode or [ProtectionMode.MUONTRAP.value]
+    args.machine = args.machine or []
+    # With only machine presets requested, don't drag the default
+    # homogeneous scheme into the matrix.
+    if not args.mode and not args.machine:
+        args.mode = [ProtectionMode.MUONTRAP.value]
+    args.mode = args.mode or []
 
 
 def _render(campaign: Campaign, result, fmt: str) -> str:
     title = ("Normalised execution time (lower is better), "
              f"{len(campaign.benchmarks)} benchmarks × "
              f"{len(campaign.configs)} schemes")
-    return Report.from_campaign(result, title=title).render(fmt)
+    rendered = Report.from_campaign(result, title=title).render(fmt)
+    if result.has_corun_results and fmt != "csv":
+        # Mix-aware view: each co-run mix split into its constituents,
+        # attributed per core and normalised per member.  CSV output stays
+        # a single parseable table; use text/markdown for the split view.
+        constituents = Report.from_campaign_constituents(
+            result, title="Per-constituent normalised execution time "
+                          "(co-run mixes split per member)")
+        rendered += "\n\n" + constituents.render(fmt)
+    return rendered
 
 
 def _run_profiled(campaign: Campaign):
@@ -193,6 +219,22 @@ def cmd_suites(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_machines(args: argparse.Namespace) -> int:
+    for name in machine_names():
+        config = get_machine(name)
+        cores = ", ".join(
+            f"core{index}: {core.mode.value} "
+            f"({core.pipeline.width}-wide, "
+            f"{core.l1d.size_bytes // 1024} KiB L1d)"
+            for index, core in enumerate(config.core_configs()))
+        flags = ""
+        if any(core.protection.insecure_scoped_invalidate
+               for core in config.core_configs()):
+            flags = " [insecure scoped-invalidate ablation]"
+        print(f"{name} ({config.num_cores} cores){flags}: {cores}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -224,6 +266,10 @@ def build_parser() -> argparse.ArgumentParser:
     suites_parser = subparsers.add_parser(
         "suites", help="list the known benchmark suites")
     suites_parser.set_defaults(func=cmd_suites)
+
+    machines_parser = subparsers.add_parser(
+        "machines", help="list the heterogeneous machine presets")
+    machines_parser.set_defaults(func=cmd_machines)
     return parser
 
 

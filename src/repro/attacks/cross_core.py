@@ -49,6 +49,25 @@ def classify_contention(latencies: Dict[int, int]) -> Tuple[Optional[int], int]:
     return recovered, margin
 
 
+def _scheme_plan(mode: ProtectionMode, num_cores: int,
+                 victim_mode: Optional[ProtectionMode],
+                 attacker_mode: Optional[ProtectionMode]):
+    """Resolve the per-core scheme assignment and its report label.
+
+    With neither override set, the machine is homogeneous under ``mode``
+    (the historical behaviour, bit-identical to before heterogeneity).
+    Setting ``victim_mode`` / ``attacker_mode`` builds an asymmetric
+    machine — attacker on core 0, victims on the rest — and labels the
+    outcome ``victim=<scheme>,attacker=<scheme>``.
+    """
+    if victim_mode is None and attacker_mode is None:
+        return None, mode.value
+    victim = victim_mode if victim_mode is not None else mode
+    attacker = attacker_mode if attacker_mode is not None else mode
+    core_modes = [attacker] + [victim] * (num_cores - 1)
+    return core_modes, f"victim={victim.value},attacker={attacker.value}"
+
+
 class CrossCoreReloadAttack:
     """Cross-core evict + speculate + reload through the coherence fabric."""
 
@@ -57,10 +76,15 @@ class CrossCoreReloadAttack:
     def __init__(self, mode: ProtectionMode = ProtectionMode.UNPROTECTED,
                  secret: int = 3, num_secret_values: int = 8,
                  num_cores: int = 2, seed: int = 0,
-                 config: Optional[SystemConfig] = None) -> None:
+                 config: Optional[SystemConfig] = None,
+                 victim_mode: Optional[ProtectionMode] = None,
+                 attacker_mode: Optional[ProtectionMode] = None) -> None:
+        core_modes, self.mode_label = _scheme_plan(
+            mode, num_cores, victim_mode, attacker_mode)
         self.environment = CrossCoreAttackEnvironment(
             mode=mode, num_cores=num_cores, secret=secret,
-            num_secret_values=num_secret_values, seed=seed, config=config)
+            num_secret_values=num_secret_values, seed=seed, config=config,
+            core_modes=core_modes)
         self.mode = mode
 
     def run(self) -> AttackOutcome:
@@ -78,7 +102,7 @@ class CrossCoreReloadAttack:
         # or LLC) rather than by memory.
         latencies = env.attacker_probe_all()
         recovered, margin = classify_probe(latencies)
-        return AttackOutcome(name=self.name, mode=self.mode.value,
+        return AttackOutcome(name=self.name, mode=self.mode_label,
                              actual_secret=env.secret,
                              recovered_secret=recovered,
                              probe_latencies=latencies,
@@ -93,10 +117,15 @@ class CrossCoreLLCPrimeProbeAttack:
     def __init__(self, mode: ProtectionMode = ProtectionMode.UNPROTECTED,
                  secret: int = 3, num_secret_values: int = 4,
                  num_cores: int = 2, seed: int = 0,
-                 config: Optional[SystemConfig] = None) -> None:
+                 config: Optional[SystemConfig] = None,
+                 victim_mode: Optional[ProtectionMode] = None,
+                 attacker_mode: Optional[ProtectionMode] = None) -> None:
+        core_modes, self.mode_label = _scheme_plan(
+            mode, num_cores, victim_mode, attacker_mode)
         self.environment = CrossCoreAttackEnvironment(
             mode=mode, num_cores=num_cores, secret=secret,
-            num_secret_values=num_secret_values, seed=seed, config=config)
+            num_secret_values=num_secret_values, seed=seed, config=config,
+            core_modes=core_modes)
         self.mode = mode
 
     # -- eviction-set construction -------------------------------------------
@@ -157,7 +186,7 @@ class CrossCoreLLCPrimeProbeAttack:
                        for address in eviction_sets[value])
             for value in range(env.num_secret_values)}
         recovered, margin = classify_contention(latencies)
-        return AttackOutcome(name=self.name, mode=self.mode.value,
+        return AttackOutcome(name=self.name, mode=self.mode_label,
                              actual_secret=env.secret,
                              recovered_secret=recovered,
                              probe_latencies=latencies,
@@ -185,4 +214,36 @@ def run_cross_core_suite(modes: Sequence[ProtectionMode],
                                     seed=seed, config=config)
                 outcome = attack.run()
                 outcomes[(attack.name, mode.value, seed)] = outcome
+    return outcomes
+
+
+def run_cross_scheme_matrix(victim_modes: Sequence[ProtectionMode],
+                            attacker_modes: Sequence[ProtectionMode],
+                            seeds: Sequence[int] = (0,),
+                            num_cores: int = 2,
+                            config: Optional[SystemConfig] = None
+                            ) -> Dict[Tuple[str, str, str, int],
+                                      AttackOutcome]:
+    """The asymmetric-protection threat matrix.
+
+    Runs every cross-core attack for each (victim scheme × attacker
+    scheme × seed) on one machine whose attacker core (0) and victim
+    cores run *different* protection schemes.  Returns
+    ``{(attack name, victim mode, attacker mode, seed): outcome}``.  The
+    security property the tests pin down: whether the channel leaks
+    depends only on the victim core's scheme — protecting the attacker's
+    own core neither opens nor closes it.
+    """
+    outcomes: Dict[Tuple[str, str, str, int], AttackOutcome] = {}
+    for attack_cls in CROSS_CORE_ATTACKS:
+        for victim_mode in victim_modes:
+            for attacker_mode in attacker_modes:
+                for seed in seeds:
+                    attack = attack_cls(victim_mode=victim_mode,
+                                        attacker_mode=attacker_mode,
+                                        num_cores=num_cores, seed=seed,
+                                        config=config)
+                    outcome = attack.run()
+                    outcomes[(attack.name, victim_mode.value,
+                              attacker_mode.value, seed)] = outcome
     return outcomes

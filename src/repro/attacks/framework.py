@@ -246,11 +246,30 @@ class CrossCoreAttackEnvironment:
     def __init__(self, mode: ProtectionMode = ProtectionMode.UNPROTECTED,
                  num_cores: int = 2, secret: int = 3,
                  num_secret_values: int = 8, seed: int = 0,
-                 config: Optional[SystemConfig] = None) -> None:
-        if num_cores < 2:
-            raise ValueError("a cross-core attack needs at least two cores")
+                 config: Optional[SystemConfig] = None,
+                 core_modes: Optional[Sequence[ProtectionMode]] = None
+                 ) -> None:
         base = config or SystemConfig()
-        self.config = base.with_mode(mode).with_cores(num_cores)
+        if core_modes is not None:
+            # Asymmetric protection: one scheme per core (attacker on core
+            # 0, victim on core 1).  Each core keeps its own geometry from
+            # ``config`` (a big.LITTLE base stays big.LITTLE); only the
+            # protection scheme is overridden, so the threat matrix
+            # isolates the victim's defence.
+            if len(core_modes) < 2:
+                raise ValueError(
+                    "a cross-core attack needs at least two cores")
+            num_cores = len(core_modes)
+            sized = base.with_cores(num_cores)
+            self.config = sized.with_core_configs(
+                [sized.core_config(index).with_mode(core_mode)
+                 for index, core_mode in enumerate(core_modes)])
+        else:
+            if num_cores < 2:
+                raise ValueError(
+                    "a cross-core attack needs at least two cores")
+            self.config = base.with_mode(mode).with_cores(num_cores)
+        self.core_modes = self.config.core_modes
         self.mode = mode
         self.secret = secret % num_secret_values
         self.num_secret_values = num_secret_values
@@ -323,6 +342,41 @@ class CrossCoreAttackEnvironment:
         """Time a committed reload of every probe-array element."""
         return {value: self.attacker_timed_load(self.probe_address(value))
                 for value in range(self.num_secret_values)}
+
+    def attacker_store(self, virtual_address: int) -> None:
+        """A committed attacker store, through the real core.
+
+        The commit-time write obtains exclusive ownership on the fabric
+        and — when the attacker core runs MuonTrap — multicasts a
+        filter-cache invalidation to its peers (section 4.5), which is
+        the event the scoped-invalidate ablation makes conditional.
+        """
+        self.attacker.execute_op(MicroOp(kind=OpKind.STORE,
+                                         pc=self.ATTACKER_CODE + 128,
+                                         address=virtual_address))
+
+    # -- test instrumentation ---------------------------------------------------
+    def victim_probe_latencies(self) -> Dict[int, int]:
+        """The victim's speculative reload latency for every candidate.
+
+        Measured directly against the victim core's memory system — this
+        is measurement instrumentation for the scoped-invalidate
+        ablation, not an attacker capability: a stale line the
+        invalidation multicast failed to reach shows up as a 1-cycle
+        filter hit only for the secret-dependent candidate, i.e. as
+        secret-dependent timing inside the victim's own execution.
+        """
+        memory = self.victim.memory
+        now = max(self.victim.current_cycle,
+                  self.attacker.current_cycle) + 10_000
+        latencies: Dict[int, int] = {}
+        for value in range(self.num_secret_values):
+            result = memory.load(self.VICTIM_CORE, VICTIM_PROCESS,
+                                 self.probe_address(value), now,
+                                 speculative=True)
+            latencies[value] = result.latency
+            now += 1_000
+        return latencies
 
     # -- victim operations (on core 1) ----------------------------------------
     def victim_committed_work(self, count: int = 4) -> None:

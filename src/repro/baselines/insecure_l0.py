@@ -11,7 +11,7 @@ mechanisms.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.common.params import SystemConfig
 from repro.common.rng import DeterministicRng
@@ -30,19 +30,22 @@ class InsecureL0MemorySystem(UnprotectedMemorySystem):
     def __init__(self, config: SystemConfig,
                  page_tables: Optional[PageTableManager] = None,
                  stats: Optional[StatGroup] = None,
-                 rng: Optional[DeterministicRng] = None) -> None:
+                 rng: Optional[DeterministicRng] = None,
+                 hierarchy=None,
+                 core_ids: Optional[Sequence[int]] = None) -> None:
         stats = stats or StatGroup("insecure_l0")
         super().__init__(config, page_tables=page_tables, stats=stats,
-                         rng=rng)
+                         rng=rng, hierarchy=hierarchy, core_ids=core_ids)
         self._data_l0 = {}
         self._inst_l0 = {}
-        for core_id in range(config.num_cores):
+        for core_id in self.core_ids:
+            per_core = config.core_config(core_id)
             core_stats = stats.child(f"core{core_id}")
             self._data_l0[core_id] = SpeculativeFilterCache(
-                config.data_filter, stats=core_stats.child("data_l0"),
+                per_core.data_filter, stats=core_stats.child("data_l0"),
                 name="data_l0")
             self._inst_l0[core_id] = SpeculativeFilterCache(
-                config.inst_filter, stats=core_stats.child("inst_l0"),
+                per_core.inst_filter, stats=core_stats.child("inst_l0"),
                 name="inst_l0")
 
     def data_l0(self, core_id: int) -> SpeculativeFilterCache:

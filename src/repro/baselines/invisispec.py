@@ -23,7 +23,7 @@ reports for InvisiSpec.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.caches.hierarchy import NonSpeculativeHierarchy
 from repro.common.params import ProtectionMode, SystemConfig
@@ -51,7 +51,9 @@ class InvisiSpecMemorySystem(MemorySystem):
                  future_variant: bool = False,
                  page_tables: Optional[PageTableManager] = None,
                  stats: Optional[StatGroup] = None,
-                 rng: Optional[DeterministicRng] = None) -> None:
+                 rng: Optional[DeterministicRng] = None,
+                 hierarchy: Optional[NonSpeculativeHierarchy] = None,
+                 core_ids: Optional[Sequence[int]] = None) -> None:
         self.config = config
         self.future_variant = future_variant
         self.name = ("invisispec-future" if future_variant
@@ -62,17 +64,22 @@ class InvisiSpecMemorySystem(MemorySystem):
         self.page_tables = (page_tables if page_tables is not None
                             else PageTableManager(
                                 page_size=config.tlb.page_size))
-        self.hierarchy = NonSpeculativeHierarchy(
-            config, stats=stats.child("hierarchy"), rng=rng)
+        self.hierarchy = (hierarchy if hierarchy is not None
+                          else NonSpeculativeHierarchy(
+                              config, stats=stats.child("hierarchy"),
+                              rng=rng))
+        self.core_ids = (list(core_ids) if core_ids is not None
+                         else list(range(config.num_cores)))
         self._mmus: Dict[int, Tuple[MMU, MMU]] = {}
         self._domains: Dict[int, DomainTracker] = {}
         self._buffers: Dict[Tuple[int, int], _SpeculativeBufferEntry] = {}
-        for core_id in range(config.num_cores):
+        for core_id in self.core_ids:
+            per_core = config.core_config(core_id)
             core_stats = stats.child(f"core{core_id}")
             self._mmus[core_id] = (
-                MMU(config.tlb, use_filter_tlb=False,
+                MMU(per_core.tlb, use_filter_tlb=False,
                     stats=core_stats.child("dmmu"), name="dmmu"),
-                MMU(config.tlb, use_filter_tlb=False,
+                MMU(per_core.tlb, use_filter_tlb=False,
                     stats=core_stats.child("immu"), name="immu"))
             self._domains[core_id] = DomainTracker(
                 core_id=core_id, stats=core_stats.child("domains"))
@@ -210,7 +217,8 @@ class InvisiSpecMemorySystem(MemorySystem):
             return 0
         result = self.hierarchy.commit_store(core_id, physical, now,
                                              broadcast_to_filters=False)
-        return min(result.latency, self.config.l1d.hit_latency)
+        return min(result.latency,
+                   self.hierarchy.l1d(core_id).config.hit_latency)
 
     # -- control events -----------------------------------------------------------------
     def squash(self, core_id: int, now: int) -> None:

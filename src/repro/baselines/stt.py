@@ -21,7 +21,7 @@ most, matching the paper's observations.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.baselines.unprotected import UnprotectedMemorySystem
 from repro.common.params import ProtectionMode, SystemConfig
@@ -41,12 +41,14 @@ class STTMemorySystem(UnprotectedMemorySystem):
                  future_variant: bool = False,
                  page_tables: Optional[PageTableManager] = None,
                  stats: Optional[StatGroup] = None,
-                 rng: Optional[DeterministicRng] = None) -> None:
+                 rng: Optional[DeterministicRng] = None,
+                 hierarchy=None,
+                 core_ids: Optional[Sequence[int]] = None) -> None:
         self.future_variant = future_variant
         self.name = "stt-future" if future_variant else "stt-spectre"
         stats = stats or StatGroup(self.name.replace("-", "_"))
         super().__init__(config, page_tables=page_tables, stats=stats,
-                         rng=rng)
+                         rng=rng, hierarchy=hierarchy, core_ids=core_ids)
         self._delayed_forwards = stats.counter(
             "delayed_forwards",
             "dependent transmit instructions held back by taint")

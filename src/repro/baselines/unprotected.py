@@ -11,7 +11,7 @@ six attacks succeed against it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence
 
 from repro.caches.hierarchy import NonSpeculativeHierarchy
 from repro.common.params import SystemConfig
@@ -38,7 +38,9 @@ class UnprotectedMemorySystem(MemorySystem):
     def __init__(self, config: SystemConfig,
                  page_tables: Optional[PageTableManager] = None,
                  stats: Optional[StatGroup] = None,
-                 rng: Optional[DeterministicRng] = None) -> None:
+                 rng: Optional[DeterministicRng] = None,
+                 hierarchy: Optional[NonSpeculativeHierarchy] = None,
+                 core_ids: Optional[Sequence[int]] = None) -> None:
         self.config = config
         stats = stats or StatGroup("unprotected")
         self.stats = stats
@@ -46,15 +48,23 @@ class UnprotectedMemorySystem(MemorySystem):
         self.page_tables = (page_tables if page_tables is not None
                             else PageTableManager(
                                 page_size=config.tlb.page_size))
-        self.hierarchy = NonSpeculativeHierarchy(
-            config, stats=stats.child("hierarchy"), rng=rng)
+        # A heterogeneous machine passes in the shared hierarchy and the
+        # subset of cores this scheme frontend serves; stand-alone use
+        # builds its own hierarchy and serves every core.
+        self.hierarchy = (hierarchy if hierarchy is not None
+                          else NonSpeculativeHierarchy(
+                              config, stats=stats.child("hierarchy"),
+                              rng=rng))
+        self.core_ids = (list(core_ids) if core_ids is not None
+                         else list(range(config.num_cores)))
         self._cores: Dict[int, _CoreState] = {}
-        for core_id in range(config.num_cores):
+        for core_id in self.core_ids:
+            per_core = config.core_config(core_id)
             core_stats = stats.child(f"core{core_id}")
             self._cores[core_id] = _CoreState(
-                data_mmu=MMU(config.tlb, use_filter_tlb=False,
+                data_mmu=MMU(per_core.tlb, use_filter_tlb=False,
                              stats=core_stats.child("dmmu"), name="dmmu"),
-                inst_mmu=MMU(config.tlb, use_filter_tlb=False,
+                inst_mmu=MMU(per_core.tlb, use_filter_tlb=False,
                              stats=core_stats.child("immu"), name="immu"),
                 domains=DomainTracker(core_id=core_id,
                                       stats=core_stats.child("domains")))
@@ -133,7 +143,8 @@ class UnprotectedMemorySystem(MemorySystem):
             return 0
         result = self.hierarchy.commit_store(core_id, physical, now,
                                              broadcast_to_filters=False)
-        return min(result.latency, self.config.l1d.hit_latency)
+        return min(result.latency,
+                   self.hierarchy.l1d(core_id).config.hit_latency)
 
     # -- control events -------------------------------------------------------------
     def switch_to_process(self, core_id: int, process_id: int,

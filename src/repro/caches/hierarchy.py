@@ -64,7 +64,11 @@ class NonSpeculativeHierarchy:
     per-core L1s sit directly on the shared L2.  A co-run configuration
     gives every core a private unified L2 between its L1s and the shared
     cache, all stitched together by the same coherence bus — whose snoops
-    are scoped by a conservative :class:`SnoopFilter` directory.
+    are scoped by a conservative :class:`SnoopFilter` directory.  Private
+    geometry is resolved per core through
+    :meth:`~repro.common.params.SystemConfig.core_config`, so a
+    heterogeneous machine can put a big core's 64 KiB L1d beside a LITTLE
+    core's 32 KiB one on the same fabric.
     """
 
     def __init__(self, config: SystemConfig,
@@ -78,25 +82,32 @@ class NonSpeculativeHierarchy:
         self.l2 = SetAssociativeCache(config.l2, stats=stats.child("l2"),
                                       rng=rng.fork(1))
         self.snoop_filter = SnoopFilter(stats=stats.child("snoop_filter"))
+        # The filter-invalidate multicast is scoped by the directory only
+        # under the explicit (insecure) ablation flag; see ProtectionConfig.
+        scoped_invalidate = any(
+            config.core_config(core_id).protection.insecure_scoped_invalidate
+            for core_id in range(config.num_cores))
         self.bus = CoherenceBus(stats=stats.child("bus"),
-                                snoop_filter=self.snoop_filter)
+                                snoop_filter=self.snoop_filter,
+                                scoped_filter_invalidate=scoped_invalidate)
         self.controller = CoherenceController(self.bus, self.l2, self.memory,
                                               stats=stats.child("coherence"))
         self._l1d: Dict[int, SetAssociativeCache] = {}
         self._l1i: Dict[int, SetAssociativeCache] = {}
         self._l2p: Dict[int, SetAssociativeCache] = {}
         for core_id in range(config.num_cores):
+            per_core = config.core_config(core_id)
             l1d_stats = stats.child(f"core{core_id}").child("l1d")
             l1i_stats = stats.child(f"core{core_id}").child("l1i")
             self._l1d[core_id] = SetAssociativeCache(
-                config.l1d, stats=l1d_stats, rng=rng.fork(10 + core_id))
+                per_core.l1d, stats=l1d_stats, rng=rng.fork(10 + core_id))
             self._l1i[core_id] = SetAssociativeCache(
-                config.l1i, stats=l1i_stats, rng=rng.fork(100 + core_id))
+                per_core.l1i, stats=l1i_stats, rng=rng.fork(100 + core_id))
             self.bus.register_private_cache(core_id, self._l1d[core_id])
-            if config.private_l2 is not None:
+            if per_core.private_l2 is not None:
                 l2p_stats = stats.child(f"core{core_id}").child("l2p")
                 self._l2p[core_id] = SetAssociativeCache(
-                    config.private_l2, stats=l2p_stats,
+                    per_core.private_l2, stats=l2p_stats,
                     rng=rng.fork(1000 + core_id))
                 self.bus.register_private_cache(core_id, self._l2p[core_id])
         self.l2_prefetcher: Prefetcher = (
@@ -263,8 +274,14 @@ class NonSpeculativeHierarchy:
             l2p.record_miss()
         if is_store:
             already_private = line is not None and line.state.is_private
-            outcome = self.controller.write(core_id, line_address, now,
-                                            already_private=already_private)
+            outcome = self.controller.write(
+                core_id, line_address, now,
+                already_private=already_private,
+                # The upgrade transaction is snooped by every protected
+                # filter cache on the fabric, whatever the writer's own
+                # scheme (no-op unless a mixed machine registered peers).
+                broadcast_to_filters=self.bus.has_peer_filter_listeners(
+                    core_id))
         else:
             outcome = self.controller.read(
                 core_id, line_address, now, speculative=speculative,
@@ -453,9 +470,15 @@ class NonSpeculativeHierarchy:
         ``broadcast_to_filters`` is set and the line was not already held
         privately, the exclusive upgrade additionally invalidates every other
         filter cache; the caller can read ``triggered_filter_broadcast`` to
-        build Figure 7.
+        build Figure 7.  The multicast is also forced whenever another
+        core's protected filter cache listens on the bus: it is a fabric
+        property, so an unprotected writer's committed store still
+        invalidates a MuonTrap peer's speculative copy on a mixed machine.
         """
         self._store_commits.increment()
+        broadcast_to_filters = (broadcast_to_filters
+                                or self.bus.has_peer_filter_listeners(
+                                    core_id))
         l1 = self._l1d[core_id]
         line_address = l1.line_address(address)
         line = l1.lookup(line_address, now)
@@ -481,7 +504,7 @@ class NonSpeculativeHierarchy:
         outcome = self.controller.write(
             core_id, line_address, now, already_private=False,
             broadcast_to_filters=broadcast_to_filters)
-        if broadcast_to_filters:
+        if outcome.triggered_filter_broadcast:
             self._store_filter_broadcasts.increment()
         l1.fill(line_address, M, now + outcome.latency, dirty=True,
                 writeback_handler=lambda victim: self._writeback_from_l1(

@@ -58,12 +58,19 @@ class CoherenceBus:
     def __init__(self, stats: Optional[StatGroup] = None,
                  snoop_latency: int = 8,
                  dirty_transfer_latency: int = 12,
-                 snoop_filter: Optional[SnoopFilter] = None) -> None:
+                 snoop_filter: Optional[SnoopFilter] = None,
+                 scoped_filter_invalidate: bool = False) -> None:
         self.snoop_latency = snoop_latency
         self.dirty_transfer_latency = dirty_transfer_latency
         self.snoop_filter = snoop_filter
+        #: The insecure ablation of ProtectionConfig
+        #: ``insecure_scoped_invalidate``: scope the filter-cache
+        #: invalidation multicast by the directory instead of broadcasting.
+        self.scoped_filter_invalidate = scoped_filter_invalidate
         self._private_caches: Dict[int, List["SetAssociativeCache"]] = {}
         self._filter_listeners: Dict[int, List[FilterInvalidationListener]] = {}
+        #: Cores with at least one registered listener (hot-path lookups).
+        self._filter_listener_cores: set = set()
         stats = stats or StatGroup("bus")
         self.stats = stats
         self._snoops = stats.counter("snoops")
@@ -83,6 +90,20 @@ class CoherenceBus:
     def register_filter_listener(self, core_id: int,
                                  listener: FilterInvalidationListener) -> None:
         self._filter_listeners.setdefault(core_id, []).append(listener)
+        self._filter_listener_cores.add(core_id)
+
+    def has_peer_filter_listeners(self, requester: int) -> bool:
+        """True when another core's filter cache listens for invalidates.
+
+        The invalidation multicast is a *fabric* property: any core's
+        exclusive upgrade must reach every protected filter cache on the
+        bus, regardless of the writer's own scheme — on a mixed machine an
+        unprotected writer's store would otherwise leave a stale
+        (secret-dependent) line in a MuonTrap peer's filter.  O(1): this
+        sits on the per-store hot path.
+        """
+        cores = self._filter_listener_cores
+        return len(cores) > 1 or (bool(cores) and requester not in cores)
 
     @property
     def core_ids(self) -> List[int]:
@@ -174,8 +195,23 @@ class CoherenceBus:
     def invalidate_others(self, requester: int, line_address: int) -> int:
         return self.downgrade_others(requester, line_address, I)
 
-    def broadcast_filter_invalidate(self, requester: int,
-                                    line_address: int) -> int:
+    def filter_invalidate_scope_skips(self, requester: int,
+                                      line_address: int) -> bool:
+        """Whether the scoped ablation would skip the multicast *now*.
+
+        Must be evaluated before the upgrade's ``invalidate_others`` runs:
+        that call retires the peers' directory entries, so a later lookup
+        would always see an empty sharer set and skip unconditionally.
+        """
+        return (self.scoped_filter_invalidate
+                and self.snoop_filter is not None
+                and self.snoop_filter.precise
+                and not self.snoop_filter.needs_snoop(requester,
+                                                      line_address))
+
+    def broadcast_filter_invalidate(self, requester: int, line_address: int,
+                                    scope_skip: Optional[bool] = None
+                                    ) -> bool:
         """Invalidate the line in every other core's filter cache.
 
         Used on exclusive upgrades when the writer did not already hold the
@@ -183,16 +219,34 @@ class CoherenceBus:
         needed.  The broadcast is deliberately *not* scoped by the snoop
         filter: filter caches are invisible to the directory, and the paper
         requires the broadcast to be timing-invariant.
+
+        The ``scoped_filter_invalidate`` ablation deliberately breaks that
+        rule: when the (precise) directory proves no *non-speculative*
+        cache of another core holds the line, the multicast is skipped
+        entirely — cheaper, but a peer's speculatively filled filter line
+        then survives the upgrade, which is exactly the stale-copy timing
+        channel the paper's timing-invariance argument closes.
+
+        Returns whether the multicast was actually performed (True even
+        with zero listeners on the bus — the transaction still goes out,
+        which is what Figure 7 counts); False only on the scoped skip.
+        ``scope_skip`` carries the directory verdict captured *before* the
+        upgrade's invalidations purged the sharer set (see
+        :meth:`filter_invalidate_scope_skips`); when omitted the current
+        directory state is consulted.
         """
+        if scope_skip is None:
+            scope_skip = self.filter_invalidate_scope_skips(requester,
+                                                            line_address)
+        if scope_skip:
+            return False
         self._filter_broadcasts.increment()
-        notified = 0
         for core_id, listeners in self._filter_listeners.items():
             if core_id == requester:
                 continue
             for listener in listeners:
                 listener(line_address)
-                notified += 1
-        return notified
+        return True
 
     @property
     def nacks(self) -> int:

@@ -218,6 +218,10 @@ class CoherenceController:
             return AccessOutcome(latency=0, granted_state=M, hit_level="l1")
 
         snoop = self.bus.snoop(requester, line_address)
+        # The scoped-invalidate ablation's directory verdict must be read
+        # before invalidate_others retires the peers' entries below.
+        scope_skip = (self.bus.filter_invalidate_scope_skips(
+            requester, line_address) if broadcast_to_filters else False)
         latency = self.bus.snoop_latency
         if snoop.dirty_owner is not None:
             self.l2.fill(line_address, S, now + latency, dirty=True)
@@ -235,8 +239,10 @@ class CoherenceController:
 
         triggered = False
         if broadcast_to_filters:
-            self.bus.broadcast_filter_invalidate(requester, line_address)
-            triggered = True
+            # False only when the scoped-invalidate ablation skipped the
+            # multicast; Figure 7 counts performed broadcasts.
+            triggered = self.bus.broadcast_filter_invalidate(
+                requester, line_address, scope_skip=scope_skip)
         self._upgrades.increment()
         return AccessOutcome(latency=latency, granted_state=M,
                              hit_level=hit_level,
@@ -252,5 +258,8 @@ class CoherenceController:
         other filter caches) but adds no latency to the committing core.
         """
         self._upgrades.increment()
+        scope_skip = self.bus.filter_invalidate_scope_skips(requester,
+                                                            line_address)
         self.bus.invalidate_others(requester, line_address)
-        self.bus.broadcast_filter_invalidate(requester, line_address)
+        self.bus.broadcast_filter_invalidate(requester, line_address,
+                                             scope_skip=scope_skip)

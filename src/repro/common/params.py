@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import List, Optional, Sequence, Tuple
 
 
 class ProtectionMode(enum.Enum):
@@ -118,8 +118,8 @@ class BranchPredictorConfig:
 
 
 @dataclass(frozen=True)
-class CoreConfig:
-    """Out-of-order core parameters from Table 1."""
+class PipelineConfig:
+    """Out-of-order pipeline parameters from Table 1."""
 
     width: int = 8
     rob_entries: int = 192
@@ -175,6 +175,16 @@ class ProtectionConfig:
     clear_on_misspeculate: bool = False
     clear_on_context_switch: bool = True
     parallel_l1_access: bool = False
+    #: **Insecure ablation** (off by default): scope MuonTrap's filter-cache
+    #: invalidation multicast by the snoop filter instead of broadcasting to
+    #: every core.  The paper requires the broadcast to be timing-invariant
+    #: precisely because the directory cannot see filter caches; with this
+    #: flag set, a speculatively filled filter line whose core holds no
+    #: non-speculative copy survives a peer's exclusive upgrade, which both
+    #: violates coherence and reintroduces a measurable timing channel.  The
+    #: flag exists to quantify that cost; it is a machine-wide fabric
+    #: property (any core requesting it scopes the shared bus's multicast).
+    insecure_scoped_invalidate: bool = False
 
     @staticmethod
     def none() -> "ProtectionConfig":
@@ -196,19 +206,107 @@ class ProtectionConfig:
         return ProtectionConfig()
 
 
+def _default_l1i() -> CacheConfig:
+    return CacheConfig(name="l1i", size_bytes=32 * 1024, associativity=2,
+                       hit_latency=1, mshrs=4)
+
+
+def _default_l1d() -> CacheConfig:
+    return CacheConfig(name="l1d", size_bytes=64 * 1024, associativity=2,
+                       hit_latency=2, mshrs=4)
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Complete configuration of one hardware context.
+
+    Bundles everything that can differ between the cores of a heterogeneous
+    machine: the out-of-order pipeline, the private cache geometry (L1s and
+    optional private L2), the speculative filter caches, the TLBs, and —
+    crucially — the protection scheme the core runs under.  A
+    :class:`SystemConfig` either derives one identical ``CoreConfig`` per
+    core from its machine-level fields (the historical, homogeneous path)
+    or carries an explicit per-core list (big.LITTLE mixes, asymmetric
+    protection).
+    """
+
+    mode: ProtectionMode = ProtectionMode.MUONTRAP
+    pipeline: PipelineConfig = field(default_factory=PipelineConfig)
+    l1i: CacheConfig = field(default_factory=_default_l1i)
+    l1d: CacheConfig = field(default_factory=_default_l1d)
+    private_l2: Optional[CacheConfig] = None
+    data_filter: FilterCacheConfig = field(default_factory=FilterCacheConfig)
+    inst_filter: FilterCacheConfig = field(default_factory=FilterCacheConfig)
+    tlb: TLBConfig = field(default_factory=TLBConfig)
+    protection: ProtectionConfig = field(default_factory=ProtectionConfig)
+
+    def __post_init__(self) -> None:
+        if self.l1d.line_size != self.l1i.line_size:
+            raise ValueError("a core's L1 line sizes must match")
+        if (self.private_l2 is not None
+                and self.private_l2.line_size != self.l1d.line_size):
+            raise ValueError("private L2 line size must match the core's L1s")
+
+    def with_mode(self, mode: ProtectionMode) -> "CoreConfig":
+        return replace(self, mode=mode)
+
+    def with_protection(self, protection: ProtectionConfig) -> "CoreConfig":
+        return replace(self, protection=protection)
+
+
+#: Pipeline of a small in-order-ish efficiency core: 2-wide, shallow
+#: windows, a modest predictor.  Used by the big.LITTLE machine presets.
+LITTLE_PIPELINE = PipelineConfig(
+    width=2, rob_entries=64, iq_entries=16, lq_entries=16, sq_entries=16,
+    int_registers=96, fp_registers=96, int_alus=2, fp_alus=1,
+    mult_div_alus=1,
+    branch_predictor=BranchPredictorConfig(
+        local_entries=512, global_entries=2048, chooser_entries=512,
+        btb_entries=1024, ras_entries=8),
+    mispredict_penalty=8, frequency_ghz=1.2)
+
+
+def big_core(mode: ProtectionMode = ProtectionMode.MUONTRAP,
+             private_l2: Optional[CacheConfig] = None,
+             protection: Optional[ProtectionConfig] = None) -> CoreConfig:
+    """A Table 1 big core, under the requested protection scheme."""
+    return CoreConfig(mode=mode, private_l2=private_l2,
+                      protection=protection or ProtectionConfig())
+
+
+def little_core(mode: ProtectionMode = ProtectionMode.MUONTRAP,
+                private_l2: Optional[CacheConfig] = None,
+                protection: Optional[ProtectionConfig] = None) -> CoreConfig:
+    """A LITTLE core: 2-wide pipeline, halved L1s, same filter geometry."""
+    return CoreConfig(
+        mode=mode, pipeline=LITTLE_PIPELINE,
+        l1i=CacheConfig(name="l1i", size_bytes=16 * 1024, associativity=2,
+                        hit_latency=1, mshrs=2),
+        l1d=CacheConfig(name="l1d", size_bytes=32 * 1024, associativity=2,
+                        hit_latency=2, mshrs=2),
+        private_l2=private_l2,
+        protection=protection or ProtectionConfig())
+
+
 @dataclass(frozen=True)
 class SystemConfig:
-    """Complete configuration of a simulated system (Table 1 by default)."""
+    """Complete configuration of a simulated system (Table 1 by default).
+
+    The machine-level fields (``mode``, ``core``, ``l1i``, ...) describe the
+    homogeneous case: every hardware context gets the same pipeline, caches
+    and protection scheme.  Setting ``cores`` to an explicit per-core
+    :class:`CoreConfig` list overrides them per context, which is how
+    big.LITTLE machines and asymmetric-protection deployments are built;
+    :meth:`core_config` is the single accessor the construction code uses,
+    so an explicit list whose entries all equal the derived homogeneous view
+    is bit-identical to not passing one at all.
+    """
 
     mode: ProtectionMode = ProtectionMode.MUONTRAP
     num_cores: int = 1
-    core: CoreConfig = field(default_factory=CoreConfig)
-    l1i: CacheConfig = field(default_factory=lambda: CacheConfig(
-        name="l1i", size_bytes=32 * 1024, associativity=2, hit_latency=1,
-        mshrs=4))
-    l1d: CacheConfig = field(default_factory=lambda: CacheConfig(
-        name="l1d", size_bytes=64 * 1024, associativity=2, hit_latency=2,
-        mshrs=4))
+    core: PipelineConfig = field(default_factory=PipelineConfig)
+    l1i: CacheConfig = field(default_factory=_default_l1i)
+    l1d: CacheConfig = field(default_factory=_default_l1d)
     l2: CacheConfig = field(default_factory=lambda: CacheConfig(
         name="l2", size_bytes=2 * 1024 * 1024, associativity=8,
         hit_latency=20, mshrs=16, prefetcher="stride"))
@@ -224,6 +322,11 @@ class SystemConfig:
     tlb: TLBConfig = field(default_factory=TLBConfig)
     memory: MemoryConfig = field(default_factory=MemoryConfig)
     protection: ProtectionConfig = field(default_factory=ProtectionConfig)
+    #: Optional explicit per-core configurations.  ``None`` (the default)
+    #: derives one identical :class:`CoreConfig` per core from the
+    #: machine-level fields above; a tuple must have exactly ``num_cores``
+    #: entries and makes the machine (potentially) heterogeneous.
+    cores: Optional[Tuple[CoreConfig, ...]] = None
 
     def __post_init__(self) -> None:
         if self.num_cores < 1:
@@ -235,22 +338,124 @@ class SystemConfig:
                 and self.private_l2.line_size != self.l2.line_size):
             raise ValueError("private L2 line size must match the shared "
                              "hierarchy")
+        if self.cores is not None:
+            if len(self.cores) != self.num_cores:
+                raise ValueError(
+                    f"per-core config list has {len(self.cores)} entries "
+                    f"but num_cores is {self.num_cores}; provide exactly "
+                    f"one CoreConfig per hardware context")
+            for index, core in enumerate(self.cores):
+                if core.l1d.line_size != self.l2.line_size:
+                    raise ValueError(
+                        f"core {index}: private cache line size "
+                        f"{core.l1d.line_size} must match the shared "
+                        f"hierarchy's {self.l2.line_size}")
+                if core.tlb.page_size != self.tlb.page_size:
+                    # The machine has ONE page-table manager, built with
+                    # the machine-level page size; a per-core MMU assuming
+                    # a different one would translate to wrong frames.
+                    raise ValueError(
+                        f"core {index}: TLB page size "
+                        f"{core.tlb.page_size} must match the machine's "
+                        f"{self.tlb.page_size} (one shared page table)")
+
+    # -- per-core views -------------------------------------------------------
+    def core_config(self, core_id: int) -> CoreConfig:
+        """The complete configuration of one hardware context.
+
+        This is the accessor every construction site (hierarchy, memory
+        systems, out-of-order cores) goes through, so homogeneous machines
+        and explicit per-core lists share one code path.
+        """
+        if self.cores is not None:
+            return self.cores[core_id]
+        return self._homogeneous_core()
+
+    def _homogeneous_core(self) -> CoreConfig:
+        return CoreConfig(mode=self.mode, pipeline=self.core, l1i=self.l1i,
+                          l1d=self.l1d, private_l2=self.private_l2,
+                          data_filter=self.data_filter,
+                          inst_filter=self.inst_filter, tlb=self.tlb,
+                          protection=self.protection)
+
+    def core_configs(self) -> List[CoreConfig]:
+        return [self.core_config(core_id)
+                for core_id in range(self.num_cores)]
+
+    def as_heterogeneous(self) -> "SystemConfig":
+        """An equivalent config with the per-core list made explicit.
+
+        Used by the differential tests: the result must simulate
+        bit-identically to ``self``.
+        """
+        return replace(self, cores=tuple(self.core_configs()))
+
+    @property
+    def core_modes(self) -> Tuple[ProtectionMode, ...]:
+        return tuple(core.mode for core in self.core_configs())
+
+    @property
+    def is_scheme_heterogeneous(self) -> bool:
+        """True when different cores run different protection schemes."""
+        return len(set(self.core_modes)) > 1
+
+    @property
+    def mode_label(self) -> str:
+        """The mode string reports carry: one scheme, or the per-core list."""
+        modes = self.core_modes
+        if len(set(modes)) == 1:
+            return modes[0].value
+        return "+".join(mode.value for mode in modes)
+
+    # -- uniform overrides ----------------------------------------------------
+    def _override(self, **fields) -> "SystemConfig":
+        """Apply a machine-wide field override.
+
+        Every ``with_*`` helper routes through here: the machine-level
+        field is replaced and, when an explicit per-core list exists, the
+        same-named field of every :class:`CoreConfig` entry is replaced
+        too (entries actually drive construction, so leaving them stale
+        would silently ignore the override).  Sweeping a preset over
+        schemes therefore behaves the same as sweeping the homogeneous
+        default.
+        """
+        cores = self.cores
+        if cores is not None:
+            per_core = {name: value for name, value in fields.items()
+                        if name in CoreConfig.__dataclass_fields__}
+            cores = tuple(replace(core, **per_core) for core in cores)
+        return replace(self, cores=cores, **fields)
 
     def with_mode(self, mode: ProtectionMode) -> "SystemConfig":
-        return replace(self, mode=mode)
+        return self._override(mode=mode)
 
     def with_protection(self, protection: ProtectionConfig) -> "SystemConfig":
-        return replace(self, protection=protection)
+        return self._override(protection=protection)
 
     def with_cores(self, num_cores: int) -> "SystemConfig":
-        return replace(self, num_cores=num_cores)
+        """Resize to ``num_cores`` contexts.
+
+        An explicit per-core list is tiled round-robin (a 2-entry
+        big.LITTLE preset resized to 4 cores becomes big, LITTLE, big,
+        LITTLE), so machine presets compose with workloads of any width.
+        """
+        cores = self.cores
+        if cores is not None and len(cores) != num_cores:
+            cores = tuple(cores[index % len(cores)]
+                          for index in range(num_cores))
+        return replace(self, num_cores=num_cores, cores=cores)
 
     def with_data_filter(self, data_filter: FilterCacheConfig) -> "SystemConfig":
-        return replace(self, data_filter=data_filter)
+        return self._override(data_filter=data_filter)
 
     def with_private_l2(self,
                         private_l2: Optional[CacheConfig]) -> "SystemConfig":
-        return replace(self, private_l2=private_l2)
+        return self._override(private_l2=private_l2)
+
+    def with_core_configs(self,
+                          cores: Sequence[CoreConfig]) -> "SystemConfig":
+        """An explicitly heterogeneous machine built from per-core configs."""
+        return replace(self, num_cores=len(cores), cores=tuple(cores))
 
 
 def default_system_config(mode: ProtectionMode = ProtectionMode.MUONTRAP,
@@ -290,3 +495,44 @@ def corun_system_config(mode: ProtectionMode = ProtectionMode.MUONTRAP,
     if private_l2:
         config = config.with_private_l2(DEFAULT_PRIVATE_L2)
     return config
+
+
+#: Geometry of the LITTLE cores' private L2 in the big.LITTLE presets:
+#: half the big cores' capacity, slightly faster.
+LITTLE_PRIVATE_L2 = CacheConfig(name="l2p", size_bytes=128 * 1024,
+                                associativity=8, hit_latency=8, mshrs=4)
+
+
+def heterogeneous_corun_config(modes: Sequence[ProtectionMode],
+                               private_l2: bool = True) -> SystemConfig:
+    """A co-run machine of identical big cores under *per-core* schemes.
+
+    One hardware context per entry of ``modes``; every core gets the
+    Table 1 pipeline and cache geometry (plus, when ``private_l2`` is set,
+    the default private L2), differing only in protection scheme.  This is
+    the asymmetric-protection building block the cross-scheme attack
+    matrix uses: an attacker core and a victim core under different
+    defences on one shared fabric.
+    """
+    base = corun_system_config(mode=modes[0], num_cores=len(modes),
+                               private_l2=private_l2)
+    template = base.core_config(0)
+    return base.with_core_configs(
+        [template.with_mode(mode) for mode in modes])
+
+
+def biglittle_system_config(
+        big_modes: Sequence[ProtectionMode],
+        little_modes: Sequence[ProtectionMode]) -> SystemConfig:
+    """A big.LITTLE machine: Table 1 big cores beside 2-wide LITTLE cores.
+
+    Each big core owns the default 256 KiB private L2, each LITTLE core a
+    128 KiB one; all of them share the LLC, bus and snoop filter.  The
+    per-core protection schemes come from the two mode lists.
+    """
+    cores = ([big_core(mode=mode, private_l2=DEFAULT_PRIVATE_L2)
+              for mode in big_modes]
+             + [little_core(mode=mode, private_l2=LITTLE_PRIVATE_L2)
+                for mode in little_modes])
+    base = default_system_config(mode=cores[0].mode, num_cores=len(cores))
+    return base.with_core_configs(cores)

@@ -31,7 +31,7 @@ Domain switches
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence
 
 from repro.caches.hierarchy import NonSpeculativeHierarchy
 from repro.common.params import ProtectionConfig, SystemConfig
@@ -53,6 +53,9 @@ class _CoreState:
     data_mmu: MMU
     inst_mmu: MMU
     domains: DomainTracker
+    #: The core's own ablation switches: on a heterogeneous machine two
+    #: MuonTrap cores may enable different subsets of the mechanisms.
+    protection: ProtectionConfig
 
 
 class MuonTrapMemorySystem(MemorySystem):
@@ -63,8 +66,12 @@ class MuonTrapMemorySystem(MemorySystem):
     def __init__(self, config: SystemConfig,
                  page_tables: Optional[PageTableManager] = None,
                  stats: Optional[StatGroup] = None,
-                 rng: Optional[DeterministicRng] = None) -> None:
+                 rng: Optional[DeterministicRng] = None,
+                 hierarchy: Optional[NonSpeculativeHierarchy] = None,
+                 core_ids: Optional[Sequence[int]] = None) -> None:
         self.config = config
+        #: Machine-level view, kept for introspection; the access paths use
+        #: the per-core protection in :class:`_CoreState`.
         self.protection: ProtectionConfig = config.protection
         stats = stats or StatGroup("muontrap")
         self.stats = stats
@@ -72,34 +79,45 @@ class MuonTrapMemorySystem(MemorySystem):
         self.page_tables = (page_tables if page_tables is not None
                             else PageTableManager(
                                 page_size=config.tlb.page_size))
-        self.hierarchy = NonSpeculativeHierarchy(
-            config, stats=stats.child("hierarchy"), rng=rng)
+        self.hierarchy = (hierarchy if hierarchy is not None
+                          else NonSpeculativeHierarchy(
+                              config, stats=stats.child("hierarchy"),
+                              rng=rng))
+        self.core_ids = (list(core_ids) if core_ids is not None
+                         else list(range(config.num_cores)))
         self._cores: Dict[int, _CoreState] = {}
-        for core_id in range(config.num_cores):
+        for core_id in self.core_ids:
+            per_core = config.core_config(core_id)
+            protection = per_core.protection
             core_stats = stats.child(f"core{core_id}")
             data_filter = SpeculativeFilterCache(
-                config.data_filter, stats=core_stats.child("data_filter"),
+                per_core.data_filter, stats=core_stats.child("data_filter"),
                 name="data_filter")
             inst_filter = SpeculativeFilterCache(
-                config.inst_filter, stats=core_stats.child("inst_filter"),
+                per_core.inst_filter, stats=core_stats.child("inst_filter"),
                 name="inst_filter")
-            data_mmu = MMU(config.tlb,
-                           use_filter_tlb=self.protection.filter_tlb,
+            data_mmu = MMU(per_core.tlb,
+                           use_filter_tlb=protection.filter_tlb,
                            stats=core_stats.child("dmmu"), name="dmmu")
-            inst_mmu = MMU(config.tlb,
-                           use_filter_tlb=self.protection.filter_tlb,
+            inst_mmu = MMU(per_core.tlb,
+                           use_filter_tlb=protection.filter_tlb,
                            stats=core_stats.child("immu"), name="immu")
             domains = DomainTracker(core_id=core_id,
                                     stats=core_stats.child("domains"))
             state = _CoreState(data_filter=data_filter,
                                inst_filter=inst_filter,
                                data_mmu=data_mmu, inst_mmu=inst_mmu,
-                               domains=domains)
+                               domains=domains, protection=protection)
             self._cores[core_id] = state
             # Register the filter caches as targets of exclusive-upgrade
-            # invalidation broadcasts (section 4.5).
-            self.hierarchy.bus.register_filter_listener(
-                core_id, data_filter.invalidate_physical)
+            # invalidation broadcasts (section 4.5).  Registration is what
+            # makes the fabric multicast to this core (see
+            # CoherenceBus.has_peer_filter_listeners), so it is gated on
+            # the core's coherence protection: the "fcache only" ablation
+            # deliberately leaves its filter unprotected.
+            if protection.coherence_protection:
+                self.hierarchy.bus.register_filter_listener(
+                    core_id, data_filter.invalidate_physical)
             domains.on_switch(
                 lambda old, new, cid=core_id: self._flush_core(cid))
         self._committed_loads = stats.counter("committed_loads")
@@ -132,13 +150,14 @@ class MuonTrapMemorySystem(MemorySystem):
     def _flush_core(self, core_id: int) -> None:
         """Clear all speculative state on a protection-domain switch."""
         core = self._cores[core_id]
-        if self.protection.data_filter_cache and \
-                self.protection.clear_on_context_switch:
+        protection = core.protection
+        if protection.data_filter_cache and \
+                protection.clear_on_context_switch:
             core.data_filter.flush()
-        if self.protection.instruction_filter_cache and \
-                self.protection.clear_on_context_switch:
+        if protection.instruction_filter_cache and \
+                protection.clear_on_context_switch:
             core.inst_filter.flush()
-        if self.protection.filter_tlb:
+        if protection.filter_tlb:
             core.data_mmu.context_switch()
             core.inst_mmu.context_switch()
 
@@ -147,20 +166,21 @@ class MuonTrapMemorySystem(MemorySystem):
                      virtual_address: int, now: int, *, speculative: bool,
                      pc: int, is_store_prefetch: bool) -> MemoryAccessResult:
         core = self._cores[core_id]
+        protection = core.protection
         physical, tlb_latency = self._translate(
             core, process_id, virtual_address, speculative, instruction=False)
         if physical is None:
             return MemoryAccessResult(latency=tlb_latency + 1,
                                       hit_level="fault")
-        if not self.protection.data_filter_cache:
+        if not protection.data_filter_cache:
             # Ablation point "insecure L0 disabled entirely" is handled by the
             # baselines; with the data filter disabled we fall back to the
             # conventional L1 path.
             outcome = self.hierarchy.access(
                 core_id, physical, now + tlb_latency, is_store=False,
                 speculative=speculative, pc=pc,
-                protect_coherence=self.protection.coherence_protection,
-                train_prefetcher=not self.protection.commit_time_prefetch)
+                protect_coherence=protection.coherence_protection,
+                train_prefetcher=not protection.commit_time_prefetch)
             return MemoryAccessResult(
                 latency=tlb_latency + outcome.latency,
                 hit_level=outcome.hit_level,
@@ -175,14 +195,14 @@ class MuonTrapMemorySystem(MemorySystem):
         # Filter miss: consult the L1 and below.  Serial lookup adds the
         # filter-cache cycle in front of the L1; the parallel-access
         # optimisation of section 6.5 overlaps the two.
-        probe_penalty = 0 if self.protection.parallel_l1_access else \
+        probe_penalty = 0 if protection.parallel_l1_access else \
             filter_cache.config.hit_latency
         outcome = self.hierarchy.read_for_filter(
             core_id, physical, now + tlb_latency + probe_penalty,
             speculative=speculative,
-            protect_coherence=self.protection.coherence_protection,
+            protect_coherence=protection.coherence_protection,
             pc=pc, instruction=False,
-            train_prefetcher_speculatively=not self.protection.commit_time_prefetch)
+            train_prefetcher_speculatively=not protection.commit_time_prefetch)
         if outcome.nacked:
             # Reduced coherency speculation: retry once non-speculative.
             return MemoryAccessResult(
@@ -222,12 +242,13 @@ class MuonTrapMemorySystem(MemorySystem):
               now: int, *, speculative: bool, pc: int = 0
               ) -> MemoryAccessResult:
         core = self._cores[core_id]
+        protection = core.protection
         physical, tlb_latency = self._translate(
             core, process_id, virtual_address, speculative, instruction=True)
         if physical is None:
             return MemoryAccessResult(latency=tlb_latency + 1,
                                       hit_level="fault")
-        if not self.protection.instruction_filter_cache:
+        if not protection.instruction_filter_cache:
             outcome = self.hierarchy.access(
                 core_id, physical, now + tlb_latency, instruction=True,
                 speculative=speculative, pc=pc, train_prefetcher=False)
@@ -263,12 +284,13 @@ class MuonTrapMemorySystem(MemorySystem):
         """
         self._committed_loads.increment()
         core = self._cores[core_id]
+        protection = core.protection
         space = self.page_tables.address_space(process_id)
         physical = space.translate(virtual_address)
         if physical is None:
             return 0
         core.data_mmu.commit_translation(space, virtual_address)
-        if not self.protection.data_filter_cache:
+        if not protection.data_filter_cache:
             return 0
         line = core.data_filter.mark_committed(virtual_address, now)
         if line is not None:
@@ -277,7 +299,7 @@ class MuonTrapMemorySystem(MemorySystem):
             line.se_upgrade_pending = False
             self.hierarchy.commit_fill_l1(core_id, physical, now,
                                           exclusive=exclusive
-                                          and self.protection.coherence_protection,
+                                          and protection.coherence_protection,
                                           instruction=False)
         else:
             # The line was evicted from the filter cache before commit: a
@@ -287,7 +309,7 @@ class MuonTrapMemorySystem(MemorySystem):
             self.hierarchy.commit_fill_l1(core_id, physical, now,
                                           exclusive=False, instruction=False,
                                           asynchronous_reload=True)
-        if self.protection.commit_time_prefetch and fill_level in (
+        if protection.commit_time_prefetch and fill_level in (
                 "l2", "memory"):
             self.hierarchy.notify_commit_prefetch(
                 self.hierarchy.line_address(physical), pc, "l2", now)
@@ -298,27 +320,29 @@ class MuonTrapMemorySystem(MemorySystem):
         """A committed store obtains ownership and writes through to the L1."""
         self._committed_stores.increment()
         core = self._cores[core_id]
+        protection = core.protection
         space = self.page_tables.address_space(process_id)
         physical = space.translate(virtual_address)
         if physical is None:
             return 0
         core.data_mmu.commit_translation(space, virtual_address)
-        broadcast = self.protection.coherence_protection
+        broadcast = protection.coherence_protection
         result = self.hierarchy.commit_store(core_id, physical, now,
                                              broadcast_to_filters=broadcast)
         if result.triggered_filter_broadcast:
             self._store_broadcasts.increment()
-        if self.protection.data_filter_cache:
+        if protection.data_filter_cache:
             line = core.data_filter.mark_committed(virtual_address, now)
             if line is not None:
                 line.se_upgrade_pending = False
-        if self.protection.commit_time_prefetch and result.hit_level in (
+        if protection.commit_time_prefetch and result.hit_level in (
                 "l2", "memory"):
             self.hierarchy.notify_commit_prefetch(
                 self.hierarchy.line_address(physical), pc, "l2", now)
         # Ownership acquisition happens in the store buffer; only charge the
         # L1 portion against commit bandwidth.
-        return min(result.latency, self.config.l1d.hit_latency)
+        return min(result.latency,
+                   self.hierarchy.l1d(core_id).config.hit_latency)
 
     def commit_fetch(self, core_id: int, process_id: int,
                      virtual_address: int, now: int, *, pc: int = 0) -> int:
@@ -328,7 +352,7 @@ class MuonTrapMemorySystem(MemorySystem):
         if physical is None:
             return 0
         core.inst_mmu.commit_translation(space, virtual_address)
-        if not self.protection.instruction_filter_cache:
+        if not core.protection.instruction_filter_cache:
             return 0
         line = core.inst_filter.mark_committed(virtual_address, now)
         if line is not None:
@@ -340,13 +364,14 @@ class MuonTrapMemorySystem(MemorySystem):
     # -- control events ------------------------------------------------------------------
     def squash(self, core_id: int, now: int) -> None:
         """Misspeculation: optionally clear the filter caches (section 4.9)."""
-        if not self.protection.clear_on_misspeculate:
-            return
         core = self._cores[core_id]
+        protection = core.protection
+        if not protection.clear_on_misspeculate:
+            return
         self._misspeculation_flushes.increment()
-        if self.protection.data_filter_cache:
+        if protection.data_filter_cache:
             core.data_filter.flush()
-        if self.protection.instruction_filter_cache:
+        if protection.instruction_filter_cache:
             core.inst_filter.flush()
 
     def context_switch(self, core_id: int, now: int) -> None:

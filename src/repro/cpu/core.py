@@ -44,7 +44,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Tuple, Union
 
-from repro.common.params import CoreConfig, SystemConfig
+from repro.common.params import PipelineConfig, SystemConfig
 from repro.common.statistics import StatGroup
 from repro.cpu.branch_predictor import TournamentPredictor
 from repro.cpu.instructions import (
@@ -103,7 +103,10 @@ class OutOfOrderCore:
                  stats: Optional[StatGroup] = None) -> None:
         self.core_id = core_id
         self.config = config
-        self.core_config: CoreConfig = config.core
+        # Per-core resolution: on a heterogeneous machine this core may run
+        # a different pipeline (big.LITTLE) than its neighbours.
+        per_core = config.core_config(core_id)
+        self.core_config: PipelineConfig = per_core.pipeline
         self.memory = memory_system
         self.process_id = process_id
         stats = stats or StatGroup(f"core{core_id}")
@@ -135,7 +138,7 @@ class OutOfOrderCore:
         self._last_branch_resolve = 0   # prefix max of branch resolve times
         self._sequence = 0
         self._pending_lq_hold = 0
-        self._line_size = config.l1i.line_size
+        self._line_size = per_core.l1i.line_size
         self._current_fetch_line: Optional[int] = None
         # Memory-system capability probes, hoisted once per core so the hot
         # loop never calls getattr/hasattr.

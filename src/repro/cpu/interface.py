@@ -39,6 +39,17 @@ class MemorySystem(abc.ABC):
     #: Human-readable mode name, used in experiment reports.
     name: str = "memory-system"
 
+    def frontend(self, core_id: int) -> "MemorySystem":
+        """The memory system one core should be driven against.
+
+        Single-scheme systems serve every core themselves; the
+        heterogeneous composite returns the per-core scheme frontend so
+        the core's capability probes (STT taint delays, InvisiSpec
+        validation) see that core's protection scheme, not its
+        neighbours'.
+        """
+        return self
+
     # -- execute-time (possibly speculative, possibly wrong-path) -------------
     @abc.abstractmethod
     def load(self, core_id: int, process_id: int, virtual_address: int,

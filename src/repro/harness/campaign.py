@@ -166,7 +166,7 @@ def execute_cells(specs: Sequence[RunSpec], *,
                 store.put(key, result, metadata={
                     "benchmark": spec.benchmark,
                     "label": spec.label,
-                    "mode": spec.config.mode.value,
+                    "mode": spec.config.mode_label,
                     "instructions": spec.instructions,
                     "seed": spec.seed,
                 })
@@ -223,6 +223,62 @@ class CampaignResult:
     def geomeans(self) -> Dict[str, float]:
         return {label: geometric_mean([v for v in values.values() if v > 0])
                 for label, values in self.normalised().items()}
+
+    @property
+    def has_corun_results(self) -> bool:
+        """True when any cell is a multi-programmed co-run mix."""
+        return any(result.is_corun for result in self.runs.values())
+
+    def per_constituent_normalised(self) -> Dict[str, Dict[str, float]]:
+        """label -> {row -> normalised time}, with mixes split per member.
+
+        Mix-aware counterpart of :meth:`normalised`: a co-run cell
+        contributes one row per constituent, named ``mix:member`` and
+        normalised against *that member's* execution time in the baseline
+        run of the same mix (attribution via
+        :attr:`~repro.sim.simulator.SimulationResult.core_benchmarks`),
+        so the table shows how each program fared inside the mix rather
+        than only the mix's completion time.  Single-program cells keep
+        their plain benchmark row.  As in :meth:`normalised`, per-seed
+        ratios are averaged.
+        """
+        # The baseline split is identical for every label; compute it once
+        # per (benchmark, seed) rather than inside the label loop.
+        baseline_parts = {
+            (benchmark, seed): self.runs[(benchmark, self.baseline_label,
+                                          seed)].per_benchmark()
+            for benchmark in self.benchmarks for seed in self.seeds}
+        series: Dict[str, Dict[str, float]] = {}
+        for label in self.labels:
+            if label == self.baseline_label:
+                continue
+            values: Dict[str, List[float]] = {}
+            for benchmark in self.benchmarks:
+                for seed in self.seeds:
+                    baseline = self.runs[(benchmark, self.baseline_label,
+                                          seed)]
+                    run = self.runs[(benchmark, label, seed)]
+                    if run.is_corun:
+                        base_parts = baseline_parts[(benchmark, seed)]
+                        for member, part in run.per_benchmark().items():
+                            base = base_parts.get(member)
+                            ratio = (part.cycles / base.cycles
+                                     if base is not None and base.cycles
+                                     else 0.0)
+                            values.setdefault(f"{benchmark}:{member}",
+                                              []).append(ratio)
+                    else:
+                        ratio = (run.cycles / baseline.cycles
+                                 if baseline.cycles else 0.0)
+                        values.setdefault(benchmark, []).append(ratio)
+            series[label] = {row: sum(ratios) / len(ratios)
+                             for row, ratios in values.items()}
+        return series
+
+    def per_constituent_geomeans(self) -> Dict[str, float]:
+        return {label: geometric_mean([v for v in values.values() if v > 0])
+                for label, values
+                in self.per_constituent_normalised().items()}
 
 
 class Campaign:

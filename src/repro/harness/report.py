@@ -45,6 +45,34 @@ class Report:
                    series=result.normalised(),
                    title=title, precision=precision)
 
+    @classmethod
+    def from_campaign_constituents(cls, result: CampaignResult,
+                                   title: str = "",
+                                   precision: int = 3) -> "Report":
+        """Mix-aware table: one row per co-run constituent (``mix:member``).
+
+        Rows follow the campaign's benchmark order, with each mix's
+        members in their per-core placement order (the order
+        ``core_benchmarks`` records), so the table is invariant to how
+        result dictionaries happen to iterate.
+        """
+        series = result.per_constituent_normalised()
+        rows: List[str] = []
+        seen = set()
+        for values in series.values():
+            for row in values:
+                if row not in seen:
+                    seen.add(row)
+                    rows.append(row)
+        # Stable overall order: campaign benchmark order first, then the
+        # insertion (placement) order of each benchmark's member rows.
+        rows.sort(key=lambda row: (
+            result.benchmarks.index(row.split(":", 1)[0])
+            if row.split(":", 1)[0] in result.benchmarks else len(
+                result.benchmarks)))
+        return cls(benchmarks=rows, series=series, title=title,
+                   precision=precision)
+
     # -- table construction ---------------------------------------------------
     @property
     def labels(self) -> List[str]:
@@ -64,9 +92,18 @@ class Report:
 
     # -- renderers ------------------------------------------------------------
     def to_text(self, column_width: int = 18) -> str:
-        """Fixed-width table (the historical ``format_table`` layout)."""
-        return "\n".join("  ".join(f"{cell:>{column_width}s}" for cell in row)
-                         for row in self.rows())
+        """Fixed-width table (the historical ``format_table`` layout).
+
+        The label column widens to the longest row name so per-constituent
+        rows (``mix-pointer-stream:libquantum``) stay aligned.
+        """
+        rows = self.rows()
+        label_width = max(column_width,
+                          max(len(row[0]) for row in rows))
+        return "\n".join(
+            "  ".join(f"{cell:>{label_width if index == 0 else column_width}s}"
+                      for index, cell in enumerate(row))
+            for row in rows)
 
     def to_markdown(self) -> str:
         rows = self.rows()

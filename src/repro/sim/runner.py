@@ -158,7 +158,7 @@ class ExperimentRunner:
                     label: Optional[str] = None,
                     collect_stats: bool = False) -> BenchmarkRun:
         from repro.harness.campaign import execute_cells
-        label = label or config.mode.value
+        label = label or config.mode_label
         spec = self._spec(profile, config, label, collect_stats)
         results = execute_cells([spec], jobs=1, store=self.store,
                                 cache=self._cache)

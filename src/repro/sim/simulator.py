@@ -171,7 +171,7 @@ class Simulator:
         stats = self.system.stats.as_dict() if collect_stats else {}
         return SimulationResult(
             benchmark=workload.benchmark,
-            mode=self.system.config.mode.value,
+            mode=self.system.config.mode_label,
             cycles=cycles,
             instructions=instructions,
             core_results=core_results,

@@ -23,14 +23,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.baselines.insecure_l0 import InsecureL0MemorySystem
-from repro.baselines.invisispec import InvisiSpecMemorySystem
-from repro.baselines.stt import STTMemorySystem
-from repro.baselines.unprotected import UnprotectedMemorySystem
-from repro.common.params import ProtectionMode, SystemConfig
+from repro.common.params import SystemConfig
 from repro.common.rng import DeterministicRng
 from repro.common.statistics import StatGroup
-from repro.core.muontrap import MuonTrapMemorySystem
 from repro.cpu.core import OutOfOrderCore
 from repro.cpu.interface import MemorySystem
 from repro.memory.page_table import PageTableManager
@@ -41,32 +36,28 @@ def build_memory_system(config: SystemConfig,
                         stats: Optional[StatGroup] = None,
                         rng: Optional[DeterministicRng] = None
                         ) -> MemorySystem:
-    """Instantiate the memory system for the configured protection mode."""
-    mode = config.mode
-    if mode is ProtectionMode.MUONTRAP:
-        return MuonTrapMemorySystem(config, page_tables=page_tables,
-                                    stats=stats, rng=rng)
-    if mode is ProtectionMode.UNPROTECTED:
-        return UnprotectedMemorySystem(config, page_tables=page_tables,
-                                       stats=stats, rng=rng)
-    if mode is ProtectionMode.INSECURE_L0:
-        return InsecureL0MemorySystem(config, page_tables=page_tables,
-                                      stats=stats, rng=rng)
-    if mode is ProtectionMode.INVISISPEC_SPECTRE:
-        return InvisiSpecMemorySystem(config, future_variant=False,
-                                      page_tables=page_tables, stats=stats,
-                                      rng=rng)
-    if mode is ProtectionMode.INVISISPEC_FUTURE:
-        return InvisiSpecMemorySystem(config, future_variant=True,
-                                      page_tables=page_tables, stats=stats,
-                                      rng=rng)
-    if mode is ProtectionMode.STT_SPECTRE:
-        return STTMemorySystem(config, future_variant=False,
-                               page_tables=page_tables, stats=stats, rng=rng)
-    if mode is ProtectionMode.STT_FUTURE:
-        return STTMemorySystem(config, future_variant=True,
-                               page_tables=page_tables, stats=stats, rng=rng)
-    raise ValueError(f"unknown protection mode: {mode!r}")
+    """Instantiate the memory system for the configured protection mode(s).
+
+    A configuration whose cores all share one scheme gets the ordinary
+    single-scheme system (including when an explicit per-core list is
+    provided — identical entries are bit-identical to the homogeneous
+    path).  Mixed schemes get the
+    :class:`~repro.sim.hetero.HeterogeneousMemorySystem` composite: one
+    shared fabric, one scheme frontend per protection mode.
+    """
+    from repro.sim.hetero import HeterogeneousMemorySystem, frontend_factory
+
+    if config.is_scheme_heterogeneous:
+        return HeterogeneousMemorySystem(config, page_tables=page_tables,
+                                         stats=stats, rng=rng)
+    # Uniform machines dispatch on the (single) per-core mode, so an
+    # explicit per-core list can override the machine-level ``mode`` field.
+    # The mode -> memory-system table is shared with the heterogeneous
+    # composite (one authoritative dispatch).
+    mode = config.core_config(0).mode if config.cores is not None \
+        else config.mode
+    return frontend_factory(mode)(config, page_tables=page_tables,
+                                  stats=stats, rng=rng)
 
 
 @dataclass
@@ -110,8 +101,11 @@ def build_system(config: SystemConfig, seed: int = 0,
         process_ids = [0] * config.num_cores
     if len(process_ids) != config.num_cores:
         raise ValueError("need one process id per core")
+    # Each core is driven against its scheme frontend (the memory system
+    # itself on single-scheme machines), so its hoisted capability probes
+    # see the core's own protection scheme.
     cores = [
-        OutOfOrderCore(core_id, config, memory_system,
+        OutOfOrderCore(core_id, config, memory_system.frontend(core_id),
                        process_id=process_ids[core_id],
                        stats=stats.child(f"core{core_id}"))
         for core_id in range(config.num_cores)

@@ -20,9 +20,16 @@ to the mix's per-core process.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Tuple
 
+from repro.common.params import (
+    ProtectionMode,
+    SystemConfig,
+    biglittle_system_config,
+    corun_system_config,
+    heterogeneous_corun_config,
+)
 from repro.workloads.profiles import (
     PARSEC_PROFILES,
     SPEC2006_PROFILES,
@@ -83,6 +90,66 @@ MIX_PROFILES: Dict[str, MixProfile] = {
 
 def mix_names() -> List[str]:
     return sorted(MIX_PROFILES)
+
+
+# -- heterogeneous machine presets -------------------------------------------
+#
+# Named machines the co-run mixes are swept over: where a MixProfile says
+# *what* runs, a machine preset says what it runs *on*.  Each preset is a
+# complete :class:`~repro.common.params.SystemConfig` with an explicit
+# per-core configuration list; `python -m repro run --machine <name>` puts
+# it in the campaign matrix beside (or instead of) the homogeneous schemes.
+# Presets are built lazily so importing this module stays cheap.
+
+def _biglittle_muontrap() -> SystemConfig:
+    """A fully protected big.LITTLE pair: MuonTrap on both core classes."""
+    return biglittle_system_config(
+        big_modes=[ProtectionMode.MUONTRAP],
+        little_modes=[ProtectionMode.MUONTRAP])
+
+
+def _biglittle_asym() -> SystemConfig:
+    """big.LITTLE with only the big core protected (the LITTLE core is
+    assumed to run trusted, sandbox-free work)."""
+    return biglittle_system_config(
+        big_modes=[ProtectionMode.MUONTRAP],
+        little_modes=[ProtectionMode.UNPROTECTED])
+
+
+def _asym_protect() -> SystemConfig:
+    """Two identical big cores, only core 0 protected — the asymmetric-
+    protection threat scenario of the cross-scheme attack matrix."""
+    return heterogeneous_corun_config(
+        [ProtectionMode.MUONTRAP, ProtectionMode.UNPROTECTED])
+
+
+def _scoped_invalidate() -> SystemConfig:
+    """The (insecure) filter-invalidate ablation: a homogeneous 2-core
+    MuonTrap machine whose invalidation multicast is scoped by the snoop
+    filter, quantifying the paper's timing-invariance cost."""
+    config = corun_system_config(ProtectionMode.MUONTRAP, num_cores=2)
+    return config.with_protection(
+        replace(config.protection, insecure_scoped_invalidate=True))
+
+
+MACHINE_PRESETS: Dict[str, Callable[[], SystemConfig]] = {
+    "biglittle-muontrap": _biglittle_muontrap,
+    "biglittle-asym": _biglittle_asym,
+    "asym-protect": _asym_protect,
+    "scoped-invalidate": _scoped_invalidate,
+}
+
+
+def machine_names() -> List[str]:
+    return sorted(MACHINE_PRESETS)
+
+
+def get_machine(name: str) -> SystemConfig:
+    """Resolve a named machine preset to its system configuration."""
+    if name not in MACHINE_PRESETS:
+        raise KeyError(f"unknown machine preset: {name!r} "
+                       f"(known: {', '.join(machine_names())})")
+    return MACHINE_PRESETS[name]()
 
 
 def get_mix(name: str) -> MixProfile:

@@ -7,9 +7,11 @@ counting, a latency that shifts by one cycle, a changed replacement
 decision — is caught immediately and attributed to the exact counter that
 moved.
 
-One snapshot per protection mode on a small fixed workload, plus one
-multi-core co-run mix on the private-L2 topology.  Refresh intentionally
-with::
+One snapshot per protection mode on a small fixed workload, one multi-core
+co-run mix on the private-L2 topology, and one per heterogeneous machine
+preset (big.LITTLE and asymmetric protection — these pin the per-core
+construction paths, including the mixed-scheme composite memory system).
+Refresh intentionally with::
 
     pytest tests/integration/test_golden_stats.py --update-golden
 """
@@ -24,6 +26,7 @@ from repro.common.params import (
     SystemConfig,
     corun_system_config,
 )
+from repro.workloads.mixes import get_machine
 from repro.sim.simulator import Simulator
 from repro.sim.system import build_system
 from repro.workloads.generator import generate_workload
@@ -43,6 +46,10 @@ CASES = [
      corun_system_config(ProtectionMode.MUONTRAP, num_cores=2)),
     ("corun-unprotected", "mix-pointer-stream",
      corun_system_config(ProtectionMode.UNPROTECTED, num_cores=2)),
+    ("hetero-biglittle-muontrap", "mix-pointer-stream",
+     get_machine("biglittle-muontrap")),
+    ("hetero-asym-protect", "mix-pointer-stream",
+     get_machine("asym-protect")),
 ]
 
 
