@@ -2,9 +2,10 @@
 
 Runs one Parsec benchmark (4 threads on 4 cores, shared L2, MESI coherence)
 under the unprotected baseline, MuonTrap, both InvisiSpec variants and both
-STT variants, and prints the normalised execution times plus the
-coherence-protection statistics that only show up with multiple cores
-(NACKed speculative requests, filter-cache invalidation broadcasts).
+STT variants through the public facade (:func:`repro.api.compare`), and
+prints the normalised execution times plus the coherence-protection
+statistics that only show up with multiple cores (NACKed speculative
+requests, filter-cache invalidation broadcasts).
 
 Run with:  python examples/multicore_parsec.py [benchmark] [instructions]
 """
@@ -13,18 +14,9 @@ from __future__ import annotations
 
 import sys
 
-from repro.common.params import ProtectionMode, SystemConfig
-from repro.core.muontrap import MuonTrapMemorySystem
-from repro.sim.runner import standard_modes, unprotected_config
-from repro.sim.simulator import Simulator
-from repro.sim.system import build_system
-from repro.workloads.generator import generate_workload
+from repro import api
+from repro.schemes import figure_series_schemes
 from repro.workloads.profiles import get_profile
-
-
-def run(config: SystemConfig, workload, seed: int = 7):
-    system = build_system(config, seed=seed)
-    return system, Simulator(system).run(workload, warmup_fraction=0.3)
 
 
 def main() -> None:
@@ -34,22 +26,32 @@ def main() -> None:
     profile = get_profile(benchmark)
     if profile.suite != "parsec":
         raise SystemExit(f"{benchmark} is not a Parsec workload")
-    workload = generate_workload(profile, instructions, seed=7)
 
-    _, baseline = run(unprotected_config(num_cores=4), workload)
+    # The five schemes of Figures 3/4 on a 4-core machine, normalised
+    # against the unprotected baseline.  collect_stats keeps each cell's
+    # statistics tree so the coherence counters can be printed below.
+    machine = api.resolve_machine(None).with_cores(4)
+    comparison = api.compare(
+        [spec.name for spec in figure_series_schemes()], suite=benchmark,
+        machine=machine, seed=7, instructions=instructions,
+        collect_stats=True)
+
     print(f"{benchmark}: {instructions} instructions x "
           f"{profile.num_threads} threads")
+    baseline = comparison.outcome(benchmark, "baseline")
     print(f"  {'unprotected':22s} 1.000  ({baseline.cycles} cycles)")
-
-    for label, config in standard_modes(num_cores=4).items():
-        system, result = run(config, workload)
-        print(f"  {label:22s} {result.cycles / baseline.cycles:.3f}  "
-              f"({result.cycles} cycles)")
-        memory = system.memory_system
-        if isinstance(memory, MuonTrapMemorySystem):
-            bus = memory.hierarchy.bus
-            print(f"  {'':22s} NACKed speculative requests: {bus.nacks}, "
-                  f"filter invalidation broadcasts: {bus.filter_broadcasts}")
+    normalised = comparison.normalised()
+    for label in comparison.labels:
+        outcome = comparison.outcome(benchmark, label)
+        print(f"  {label:22s} {normalised[label][benchmark]:.3f}  "
+              f"({outcome.cycles} cycles)")
+        if outcome.scheme == "muontrap":
+            stats = outcome.stats
+            nacks = stats.get("system.memory_system.hierarchy.bus.nacks", 0)
+            broadcasts = stats.get(
+                "system.memory_system.hierarchy.bus.filter_broadcasts", 0)
+            print(f"  {'':22s} NACKed speculative requests: {nacks}, "
+                  f"filter invalidation broadcasts: {broadcasts}")
 
 
 if __name__ == "__main__":

@@ -1,8 +1,9 @@
-"""Quickstart: simulate one workload under MuonTrap and the baseline.
+"""Quickstart: the public API in a dozen lines.
 
-Builds the Table 1 system twice (unprotected and MuonTrap), runs the same
-synthetic SPEC CPU2006 workload on both, and prints the normalised execution
-time together with the filter-cache statistics that explain it.
+Simulates one workload under MuonTrap and the unprotected baseline through
+:mod:`repro.api` — the stable facade the CLI, the experiment runner and the
+figure reproductions all use — and prints the normalised execution time
+together with the filter-cache statistics that explain it.
 
 Run with:  python examples/quickstart.py [benchmark] [instructions]
 """
@@ -11,13 +12,8 @@ from __future__ import annotations
 
 import sys
 
-from repro.common.params import ProtectionMode, SystemConfig
-from repro.core.muontrap import MuonTrapMemorySystem
+from repro import api
 from repro.experiments.table1 import format_table1
-from repro.sim.simulator import Simulator
-from repro.sim.system import build_system
-from repro.workloads.generator import generate_workload
-from repro.workloads.profiles import get_profile
 
 
 def main() -> None:
@@ -28,42 +24,43 @@ def main() -> None:
     print(format_table1())
     print()
 
-    profile = get_profile(benchmark)
-    workload = generate_workload(profile, instructions, seed=42)
+    # One call per scheme: api.simulate resolves the benchmark name, builds
+    # the machine, runs the workload and returns a typed outcome.  The same
+    # seed gives both schemes the same instruction trace, so the comparison
+    # isolates the memory system (the paper's methodology).
+    baseline = api.simulate(benchmark, "unprotected", seed=42,
+                            instructions=instructions, warmup_fraction=0.3,
+                            collect_stats=True)
+    muontrap = api.simulate(benchmark, "muontrap", seed=42,
+                            instructions=instructions, warmup_fraction=0.3,
+                            collect_stats=True)
 
-    results = {}
-    for mode in (ProtectionMode.UNPROTECTED, ProtectionMode.MUONTRAP):
-        config = SystemConfig(mode=mode, num_cores=max(1, profile.num_threads))
-        system = build_system(config, seed=42)
-        simulator = Simulator(system)
-        results[mode] = (system, simulator.run(workload,
-                                               warmup_fraction=0.3))
-
-    baseline = results[ProtectionMode.UNPROTECTED][1]
-    muontrap_system, muontrap = results[ProtectionMode.MUONTRAP]
-
-    print(f"workload: {benchmark} ({instructions} instructions, "
-          f"{profile.num_threads} thread(s))")
+    print(f"workload: {benchmark} ({instructions} instructions)")
     print(f"  unprotected: {baseline.cycles} cycles "
-          f"(IPC {baseline.ipc:.2f})")
+          f"(IPC {baseline.ipc:.2f}, "
+          f"{baseline.wall_seconds * 1e6:.1f} simulated µs)")
     print(f"  MuonTrap:    {muontrap.cycles} cycles "
-          f"(IPC {muontrap.ipc:.2f})")
+          f"(IPC {muontrap.ipc:.2f}, "
+          f"{muontrap.wall_seconds * 1e6:.1f} simulated µs)")
     print(f"  normalised execution time: "
-          f"{muontrap.cycles / baseline.cycles:.3f} (1.0 = baseline)")
+          f"{muontrap.normalised_to(baseline):.3f} (1.0 = baseline)")
 
-    memory = muontrap_system.memory_system
-    assert isinstance(memory, MuonTrapMemorySystem)
-    data_filter = memory.data_filter(0)
-    inst_filter = memory.inst_filter(0)
+    # Every outcome carries the full statistics tree of its run.
+    stats = muontrap.stats
+    prefix = "system.memory_system.core0"
     print("\nMuonTrap filter-cache behaviour (core 0):")
-    print(f"  data filter:  {data_filter.hits} hits, "
-          f"{data_filter.misses} misses, {data_filter.flushes} flushes, "
-          f"{data_filter.uncommitted_evictions} uncommitted evictions")
-    print(f"  inst filter:  {inst_filter.hits} hits, "
-          f"{inst_filter.misses} misses")
-    print(f"  committed stores needing an invalidation broadcast: "
-          f"{memory.store_filter_broadcasts} / {memory.committed_stores} "
-          f"({memory.filter_invalidate_rate():.1%})")
+    print(f"  data filter:  {stats.get(f'{prefix}.data_filter.hits', 0)} "
+          f"hits, {stats.get(f'{prefix}.data_filter.misses', 0)} misses, "
+          f"{stats.get(f'{prefix}.data_filter.flushes', 0)} flushes")
+    print(f"  inst filter:  {stats.get(f'{prefix}.inst_filter.hits', 0)} "
+          f"hits, {stats.get(f'{prefix}.inst_filter.misses', 0)} misses")
+
+    # The same machine, described as data: export, edit, re-run.
+    machine = muontrap.machine.to_dict()
+    print(f"\nmachine description: schema v{machine['schema_version']}, "
+          f"{machine['num_cores']} core(s), mode {machine['mode']!r}")
+    print("(SystemConfig.to_dict() round-trips losslessly; run saved "
+          "files with: python -m repro run --machine-file <path>)")
 
 
 if __name__ == "__main__":

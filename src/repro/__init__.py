@@ -17,10 +17,15 @@ The package is organised around the paper's structure:
 * :mod:`repro.harness` — the campaign layer: named benchmark suites,
   parallel execution of suite × configuration × seed matrices, a
   persistent result store and report rendering, exposed on the command
-  line as ``python -m repro``.
+  line as ``python -m repro``;
+* :mod:`repro.api` — the stable public facade (``simulate`` /
+  ``compare`` / ``sweep``) everything above routes through;
+* :mod:`repro.schemes` — the pluggable protection-scheme registry
+  (:class:`~repro.schemes.SchemeSpec`) the simulator dispatches on.
 """
 
 from repro.common.params import (
+    CoreConfig,
     ProtectionConfig,
     ProtectionMode,
     SystemConfig,
@@ -32,11 +37,23 @@ from repro.common.params import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "CoreConfig",
     "ProtectionConfig",
     "ProtectionMode",
     "SystemConfig",
+    "api",
     "default_system_config",
     "parsec_system_config",
+    "schemes",
     "spec_system_config",
     "__version__",
 ]
+
+
+def __getattr__(name: str):
+    # Lazy submodule access: ``repro.api`` / ``repro.schemes`` import the
+    # simulation stack, which plain ``import repro`` should not pay for.
+    if name in ("api", "schemes"):
+        import importlib
+        return importlib.import_module(f"repro.{name}")
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -8,7 +8,10 @@ Subcommands:
   executing only the cells the store does not already hold;
 * ``clean``  — empty the result store;
 * ``suites`` — list the known benchmark suites;
-* ``machines`` — list the heterogeneous machine presets.
+* ``machines`` — list the heterogeneous machine presets;
+* ``schemes`` — list the registered protection schemes and their
+  capability flags (including schemes registered at runtime through
+  :func:`repro.schemes.register_scheme`).
 
 Examples::
 
@@ -16,8 +19,14 @@ Examples::
     python -m repro run --suite parsec --mode all --jobs 8
     python -m repro run --suite mixes --machine biglittle-muontrap \
         --machine asym-protect
+    python -m repro run --suite mixes --machine-file my-machine.json
     python -m repro report --suite spec_int --mode muontrap --format csv
     python -m repro clean
+
+Everything routes through the public facade (:mod:`repro.api`): ``--mode``
+accepts any registered scheme name, ``--machine`` any preset, and
+``--machine-file`` any machine description JSON
+(:mod:`repro.common.machine`).
 
 Environment: ``REPRO_INSTRUCTIONS`` (instructions per workload),
 ``REPRO_JOBS`` (worker count), ``REPRO_STORE`` (result-store directory).
@@ -28,63 +37,54 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
-from repro.common.params import ProtectionMode, SystemConfig
+from repro import api
+from repro.common.params import SystemConfig
 from repro.harness.campaign import Campaign, DEFAULT_SEED
 from repro.harness.report import Report
 from repro.harness.store import ResultStore
 from repro.harness.suites import UnknownSuiteError, resolve_suites, suite_names
-from repro.sim.runner import unprotected_config
+from repro.schemes import (
+    available_schemes,
+    figure_series_schemes,
+    get_scheme,
+)
 from repro.workloads.mixes import get_machine, machine_names
 
 DEFAULT_STORE = ".repro-results"
-
-#: CLI mode name -> series label (matching the figure legends).
-MODE_LABELS = {
-    ProtectionMode.MUONTRAP.value: "MuonTrap",
-    ProtectionMode.INSECURE_L0.value: "Insecure-L0",
-    ProtectionMode.INVISISPEC_SPECTRE.value: "InvisiSpec-Spectre",
-    ProtectionMode.INVISISPEC_FUTURE.value: "InvisiSpec-Future",
-    ProtectionMode.STT_SPECTRE.value: "STT-Spectre",
-    ProtectionMode.STT_FUTURE.value: "STT-Future",
-}
-
-#: ``--mode all``: the five schemes of Figures 3 and 4.
-ALL_MODES = [
-    ProtectionMode.MUONTRAP.value,
-    ProtectionMode.INVISISPEC_SPECTRE.value,
-    ProtectionMode.INVISISPEC_FUTURE.value,
-    ProtectionMode.STT_SPECTRE.value,
-    ProtectionMode.STT_FUTURE.value,
-]
 
 
 def _store_path(args: argparse.Namespace) -> str:
     return args.store or os.environ.get("REPRO_STORE") or DEFAULT_STORE
 
 
-def _build_configs(modes: Sequence[str],
-                   machines: Sequence[str]) -> Dict[str, SystemConfig]:
+def _build_configs(modes: Sequence[str], machines: Sequence[str],
+                   machine_files: Sequence[str]) -> Dict[str, SystemConfig]:
     expanded: List[str] = []
     for mode in modes:
-        expanded.extend(ALL_MODES if mode == "all" else [mode])
+        if mode == "all":
+            expanded.extend(spec.name for spec in figure_series_schemes())
+        else:
+            expanded.append(mode)
     configs: Dict[str, SystemConfig] = {}
     for mode in expanded:
-        label = MODE_LABELS[mode]
-        configs[label] = SystemConfig(mode=ProtectionMode(mode))
+        spec = get_scheme(mode)  # raises a clear ValueError when unknown
+        configs[spec.display_name] = SystemConfig(mode=spec.name)
     for machine in machines:
         configs[machine] = get_machine(machine)
+    for machine_file in machine_files:
+        configs[Path(machine_file).stem] = api.resolve_machine(machine_file)
     return configs
 
 
 def _build_campaign(args: argparse.Namespace) -> Campaign:
     store = None if args.no_store else ResultStore(_store_path(args))
-    return Campaign.from_suites(
+    return api.build_comparison(
+        _build_configs(args.mode, args.machine, args.machine_file),
         args.suite,
-        configs=_build_configs(args.mode, args.machine),
-        baseline_config=unprotected_config(),
-        baseline_label="baseline",
+        baseline=api.DEFAULT_BASELINE,
         instructions=args.instructions,
         seed=args.seed,
         replicates=args.replicates,
@@ -100,15 +100,20 @@ def _add_matrix_arguments(parser: argparse.ArgumentParser) -> None:
              f"Suites: {', '.join(suite_names())}")
     parser.add_argument(
         "--mode", action="append",
-        choices=sorted(MODE_LABELS) + ["all"],
         help="protection scheme to evaluate against the unprotected "
              "baseline (repeatable; default: muontrap; 'all' = the five "
-             "schemes of Figures 3 and 4)")
+             "schemes of Figures 3 and 4; any scheme registered through "
+             "repro.schemes is accepted — see 'python -m repro schemes')")
     parser.add_argument(
         "--machine", action="append", choices=machine_names(),
         help="heterogeneous machine preset to evaluate as a series "
              "(repeatable; big.LITTLE and asymmetric-protection "
              "configurations; co-run mixes get per-constituent tables)")
+    parser.add_argument(
+        "--machine-file", action="append",
+        help="machine description JSON to evaluate as a series "
+             "(repeatable; the format SystemConfig.to_dict() writes; "
+             "the series is labelled with the file stem)")
     parser.add_argument("--instructions", type=int, default=None,
                         help="instructions per workload "
                              "(default: REPRO_INSTRUCTIONS or 8000)")
@@ -133,10 +138,11 @@ def _add_matrix_arguments(parser: argparse.ArgumentParser) -> None:
 def _normalise_matrix_defaults(args: argparse.Namespace) -> None:
     args.suite = args.suite or ["spec_int"]
     args.machine = args.machine or []
-    # With only machine presets requested, don't drag the default
+    args.machine_file = args.machine_file or []
+    # With only machine presets / files requested, don't drag the default
     # homogeneous scheme into the matrix.
-    if not args.mode and not args.machine:
-        args.mode = [ProtectionMode.MUONTRAP.value]
+    if not args.mode and not args.machine and not args.machine_file:
+        args.mode = ["muontrap"]
     args.mode = args.mode or []
 
 
@@ -219,11 +225,24 @@ def cmd_suites(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_schemes(args: argparse.Namespace) -> int:
+    """List the registered protection schemes with their capabilities."""
+    for spec in available_schemes():
+        flags = [name.replace("_", "-")
+                 for name, enabled in spec.capabilities().items() if enabled]
+        origin = "builtin" if spec.builtin else "registered"
+        print(f"{spec.name} ({spec.display_name}) [{origin}]: "
+              f"{', '.join(flags) if flags else 'no capability flags'}")
+        if spec.description:
+            print(f"    {spec.description}")
+    return 0
+
+
 def cmd_machines(args: argparse.Namespace) -> int:
     for name in machine_names():
         config = get_machine(name)
         cores = ", ".join(
-            f"core{index}: {core.mode.value} "
+            f"core{index}: {core.scheme} "
             f"({core.pipeline.width}-wide, "
             f"{core.l1d.size_bytes // 1024} KiB L1d)"
             for index, core in enumerate(config.core_configs()))
@@ -270,6 +289,11 @@ def build_parser() -> argparse.ArgumentParser:
     machines_parser = subparsers.add_parser(
         "machines", help="list the heterogeneous machine presets")
     machines_parser.set_defaults(func=cmd_machines)
+
+    schemes_parser = subparsers.add_parser(
+        "schemes", help="list the registered protection schemes and "
+                        "their capability flags")
+    schemes_parser.set_defaults(func=cmd_schemes)
     return parser
 
 

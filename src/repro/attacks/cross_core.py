@@ -35,7 +35,8 @@ from repro.attacks.framework import (
     CrossCoreAttackEnvironment,
     classify_probe,
 )
-from repro.common.params import ProtectionMode, SystemConfig
+from repro.common.params import (ProtectionMode, SchemeLike,
+                                 SystemConfig, scheme_name)
 
 
 def classify_contention(latencies: Dict[int, int]) -> Tuple[Optional[int], int]:
@@ -61,11 +62,12 @@ def _scheme_plan(mode: ProtectionMode, num_cores: int,
     outcome ``victim=<scheme>,attacker=<scheme>``.
     """
     if victim_mode is None and attacker_mode is None:
-        return None, mode.value
+        return None, scheme_name(mode)
     victim = victim_mode if victim_mode is not None else mode
     attacker = attacker_mode if attacker_mode is not None else mode
     core_modes = [attacker] + [victim] * (num_cores - 1)
-    return core_modes, f"victim={victim.value},attacker={attacker.value}"
+    return core_modes, (f"victim={scheme_name(victim)},"
+                        f"attacker={scheme_name(attacker)}")
 
 
 class CrossCoreReloadAttack:
@@ -73,12 +75,12 @@ class CrossCoreReloadAttack:
 
     name = "cross-core-reload"
 
-    def __init__(self, mode: ProtectionMode = ProtectionMode.UNPROTECTED,
+    def __init__(self, mode: SchemeLike = ProtectionMode.UNPROTECTED,
                  secret: int = 3, num_secret_values: int = 8,
                  num_cores: int = 2, seed: int = 0,
                  config: Optional[SystemConfig] = None,
-                 victim_mode: Optional[ProtectionMode] = None,
-                 attacker_mode: Optional[ProtectionMode] = None) -> None:
+                 victim_mode: Optional[SchemeLike] = None,
+                 attacker_mode: Optional[SchemeLike] = None) -> None:
         core_modes, self.mode_label = _scheme_plan(
             mode, num_cores, victim_mode, attacker_mode)
         self.environment = CrossCoreAttackEnvironment(
@@ -114,12 +116,12 @@ class CrossCoreLLCPrimeProbeAttack:
 
     name = "cross-core-llc-prime-probe"
 
-    def __init__(self, mode: ProtectionMode = ProtectionMode.UNPROTECTED,
+    def __init__(self, mode: SchemeLike = ProtectionMode.UNPROTECTED,
                  secret: int = 3, num_secret_values: int = 4,
                  num_cores: int = 2, seed: int = 0,
                  config: Optional[SystemConfig] = None,
-                 victim_mode: Optional[ProtectionMode] = None,
-                 attacker_mode: Optional[ProtectionMode] = None) -> None:
+                 victim_mode: Optional[SchemeLike] = None,
+                 attacker_mode: Optional[SchemeLike] = None) -> None:
         core_modes, self.mode_label = _scheme_plan(
             mode, num_cores, victim_mode, attacker_mode)
         self.environment = CrossCoreAttackEnvironment(
@@ -213,7 +215,8 @@ def run_cross_core_suite(modes: Sequence[ProtectionMode],
                 attack = attack_cls(mode=mode, num_cores=num_cores,
                                     seed=seed, config=config)
                 outcome = attack.run()
-                outcomes[(attack.name, mode.value, seed)] = outcome
+                outcomes[(attack.name, scheme_name(mode),
+                          seed)] = outcome
     return outcomes
 
 
@@ -244,6 +247,7 @@ def run_cross_scheme_matrix(victim_modes: Sequence[ProtectionMode],
                                         num_cores=num_cores, seed=seed,
                                         config=config)
                     outcome = attack.run()
-                    outcomes[(attack.name, victim_mode.value,
-                              attacker_mode.value, seed)] = outcome
+                    outcomes[(attack.name, scheme_name(victim_mode),
+                              scheme_name(attacker_mode),
+                              seed)] = outcome
     return outcomes

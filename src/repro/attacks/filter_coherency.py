@@ -26,7 +26,8 @@ from repro.attacks.framework import (
     classify_probe,
     VICTIM_SECRET_ADDRESS,
 )
-from repro.common.params import ProtectionMode, SystemConfig
+from repro.common.params import (ProtectionMode, SchemeLike,
+                                 SystemConfig, scheme_name)
 
 
 class FilterCacheCoherencyAttack:
@@ -34,7 +35,7 @@ class FilterCacheCoherencyAttack:
 
     name = "filter-cache-coherency"
 
-    def __init__(self, mode: ProtectionMode = ProtectionMode.MUONTRAP,
+    def __init__(self, mode: SchemeLike = ProtectionMode.MUONTRAP,
                  secret: int = 1, num_secret_values: int = 4,
                  config: Optional[SystemConfig] = None) -> None:
         self.environment = AttackEnvironment(
@@ -68,7 +69,7 @@ class FilterCacheCoherencyAttack:
         recovered, margin = classify_probe(latencies)
         # Timing invariance: if every probe takes the same time the channel
         # carries nothing and recovered is None.
-        return AttackOutcome(name=self.name, mode=self.mode.value,
+        return AttackOutcome(name=self.name, mode=scheme_name(self.mode),
                              actual_secret=secret,
                              recovered_secret=recovered,
                              probe_latencies=latencies,

@@ -24,7 +24,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.common.params import ProtectionMode, SystemConfig
+from repro.common.params import (ProtectionMode, SchemeLike,
+                                 SystemConfig, scheme_name)
 from repro.cpu.instructions import MicroOp, OpKind, WrongPathAccess
 from repro.cpu.interface import MemorySystem
 from repro.memory.page_table import PageTableManager
@@ -75,7 +76,7 @@ class AttackEnvironment:
     """A memory system plus the attacker/victim processes and shared pages."""
 
     def __init__(self, config: Optional[SystemConfig] = None,
-                 mode: ProtectionMode = ProtectionMode.UNPROTECTED,
+                 mode: SchemeLike = ProtectionMode.UNPROTECTED,
                  num_cores: int = 1, secret: int = 3,
                  num_secret_values: int = 8,
                  shared_writable: bool = True,
@@ -243,7 +244,7 @@ class CrossCoreAttackEnvironment:
     _SYNC_REG = 60
     _DEST_REG = 61
 
-    def __init__(self, mode: ProtectionMode = ProtectionMode.UNPROTECTED,
+    def __init__(self, mode: SchemeLike = ProtectionMode.UNPROTECTED,
                  num_cores: int = 2, secret: int = 3,
                  num_secret_values: int = 8, seed: int = 0,
                  config: Optional[SystemConfig] = None,
@@ -438,5 +439,5 @@ def run_attack_for_modes(attack_factory, modes: List[ProtectionMode],
     outcomes: Dict[str, AttackOutcome] = {}
     for mode in modes:
         attack = attack_factory(mode=mode, **kwargs)
-        outcomes[mode.value] = attack.run()
+        outcomes[scheme_name(mode)] = attack.run()
     return outcomes

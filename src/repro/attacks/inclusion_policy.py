@@ -24,7 +24,8 @@ from repro.attacks.framework import (
     classify_probe,
     VICTIM_SECRET_ADDRESS,
 )
-from repro.common.params import ProtectionMode, SystemConfig
+from repro.common.params import (ProtectionMode, SchemeLike,
+                                 SystemConfig, scheme_name)
 
 
 class InclusionPolicyAttack:
@@ -32,7 +33,7 @@ class InclusionPolicyAttack:
 
     name = "inclusion-policy"
 
-    def __init__(self, mode: ProtectionMode = ProtectionMode.UNPROTECTED,
+    def __init__(self, mode: SchemeLike = ProtectionMode.UNPROTECTED,
                  secret: int = 5, num_secret_values: int = 8,
                  config: Optional[SystemConfig] = None) -> None:
         base = config or SystemConfig()
@@ -89,7 +90,7 @@ class InclusionPolicyAttack:
         inverted = {value: -latency for value, latency in
                     slow_per_value.items()}
         recovered, _ = classify_probe(inverted)
-        return AttackOutcome(name=self.name, mode=self.mode.value,
+        return AttackOutcome(name=self.name, mode=scheme_name(self.mode),
                              actual_secret=secret,
                              recovered_secret=recovered,
                              probe_latencies=slow_per_value)

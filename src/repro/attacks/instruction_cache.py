@@ -20,7 +20,8 @@ from repro.attacks.framework import (
     classify_probe,
     VICTIM_SECRET_ADDRESS,
 )
-from repro.common.params import ProtectionMode, SystemConfig
+from repro.common.params import (ProtectionMode, SchemeLike,
+                                 SystemConfig, scheme_name)
 
 
 class InstructionCacheAttack:
@@ -28,7 +29,7 @@ class InstructionCacheAttack:
 
     name = "instruction-cache"
 
-    def __init__(self, mode: ProtectionMode = ProtectionMode.UNPROTECTED,
+    def __init__(self, mode: SchemeLike = ProtectionMode.UNPROTECTED,
                  secret: int = 4, num_secret_values: int = 8,
                  config: Optional[SystemConfig] = None) -> None:
         self.environment = AttackEnvironment(
@@ -62,7 +63,7 @@ class InstructionCacheAttack:
             latencies[value] = env.attacker_fetch(self._gadget_address(value))
 
         recovered, _ = classify_probe(latencies)
-        return AttackOutcome(name=self.name, mode=self.mode.value,
+        return AttackOutcome(name=self.name, mode=scheme_name(self.mode),
                              actual_secret=secret,
                              recovered_secret=recovered,
                              probe_latencies=latencies)

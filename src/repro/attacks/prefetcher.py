@@ -22,7 +22,8 @@ from repro.attacks.framework import (
     LINE_SIZE,
     VICTIM_SECRET_ADDRESS,
 )
-from repro.common.params import ProtectionMode, SystemConfig
+from repro.common.params import (ProtectionMode, SchemeLike,
+                                 SystemConfig, scheme_name)
 
 
 class PrefetcherAttack:
@@ -39,7 +40,7 @@ class PrefetcherAttack:
     #: covering where the stream prefetcher runs ahead of the last access.
     PROBE_WINDOW = range(TRAIN_LENGTH, TRAIN_LENGTH + 10)
 
-    def __init__(self, mode: ProtectionMode = ProtectionMode.UNPROTECTED,
+    def __init__(self, mode: SchemeLike = ProtectionMode.UNPROTECTED,
                  secret: int = 2, num_secret_values: int = 4,
                  config: Optional[SystemConfig] = None) -> None:
         # Each candidate value gets its own 4 KiB region of the shared
@@ -81,7 +82,7 @@ class PrefetcherAttack:
             latencies[value] = fastest
 
         recovered, _ = classify_probe(latencies)
-        return AttackOutcome(name=self.name, mode=self.mode.value,
+        return AttackOutcome(name=self.name, mode=scheme_name(self.mode),
                              actual_secret=secret,
                              recovered_secret=recovered,
                              probe_latencies=latencies)

@@ -25,7 +25,8 @@ from repro.attacks.framework import (
     classify_probe,
     VICTIM_SECRET_ADDRESS,
 )
-from repro.common.params import ProtectionMode, SystemConfig
+from repro.common.params import (ProtectionMode, SchemeLike,
+                                 SystemConfig, scheme_name)
 
 
 class SharedDataCoherenceAttack:
@@ -33,7 +34,7 @@ class SharedDataCoherenceAttack:
 
     name = "shared-data-coherence"
 
-    def __init__(self, mode: ProtectionMode = ProtectionMode.UNPROTECTED,
+    def __init__(self, mode: SchemeLike = ProtectionMode.UNPROTECTED,
                  secret: int = 2, num_secret_values: int = 4,
                  config: Optional[SystemConfig] = None) -> None:
         self.environment = AttackEnvironment(
@@ -73,7 +74,7 @@ class SharedDataCoherenceAttack:
 
         inverted = {value: -latency for value, latency in latencies.items()}
         recovered, _ = classify_probe(inverted)
-        return AttackOutcome(name=self.name, mode=self.mode.value,
+        return AttackOutcome(name=self.name, mode=scheme_name(self.mode),
                              actual_secret=secret,
                              recovered_secret=recovered,
                              probe_latencies=latencies)

@@ -23,7 +23,8 @@ from repro.attacks.framework import (
     classify_probe,
     VICTIM_SECRET_ADDRESS,
 )
-from repro.common.params import ProtectionMode, SystemConfig
+from repro.common.params import (ProtectionMode, SchemeLike,
+                                 SystemConfig, scheme_name)
 
 
 class SpectrePrimeProbeAttack:
@@ -31,7 +32,7 @@ class SpectrePrimeProbeAttack:
 
     name = "spectre-prime-probe"
 
-    def __init__(self, mode: ProtectionMode = ProtectionMode.UNPROTECTED,
+    def __init__(self, mode: SchemeLike = ProtectionMode.UNPROTECTED,
                  secret: int = 3, num_secret_values: int = 8,
                  config: Optional[SystemConfig] = None) -> None:
         self.environment = AttackEnvironment(
@@ -62,7 +63,7 @@ class SpectrePrimeProbeAttack:
             latencies[value] = env.attacker_load(env.probe_address(value))
 
         recovered, _ = classify_probe(latencies)
-        return AttackOutcome(name=self.name, mode=self.mode.value,
+        return AttackOutcome(name=self.name, mode=scheme_name(self.mode),
                              actual_secret=secret,
                              recovered_secret=recovered,
                              probe_latencies=latencies)

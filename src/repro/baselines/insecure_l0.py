@@ -113,3 +113,16 @@ class InsecureL0MemorySystem(UnprotectedMemorySystem):
                     fill_level=result.hit_level)
         return MemoryAccessResult(latency=lookup.latency + result.latency,
                                   hit_level=result.hit_level)
+
+
+# -- scheme registration ------------------------------------------------------
+from repro.schemes import SchemeSpec, _register_builtin
+
+_register_builtin(SchemeSpec(
+    name="insecure-l0",
+    factory=InsecureL0MemorySystem,
+    display_name="Insecure-L0",
+    description="MuonTrap's L0 geometry with none of its protections "
+                "(the ablation baseline of Figures 8 and 9).",
+    supports_filter_caches=True,
+    builtin=True))

@@ -251,3 +251,38 @@ class InvisiSpecMemorySystem(MemorySystem):
     @property
     def validations(self) -> int:
         return self._validations.value
+
+
+# -- scheme registration ------------------------------------------------------
+from repro.schemes import SchemeSpec, _register_builtin
+
+
+def _build_invisispec_spectre(config, **kwargs):
+    return InvisiSpecMemorySystem(config, future_variant=False, **kwargs)
+
+
+def _build_invisispec_future(config, **kwargs):
+    return InvisiSpecMemorySystem(config, future_variant=True, **kwargs)
+
+
+_register_builtin(SchemeSpec(
+    name="invisispec-spectre",
+    factory=_build_invisispec_spectre,
+    display_name="InvisiSpec-Spectre",
+    description="Speculative loads buffered and validated at commit "
+                "(Spectre threat model).",
+    timing_invariant=True,
+    uses_speculative_buffers=True,
+    figure_series=True,
+    builtin=True))
+
+_register_builtin(SchemeSpec(
+    name="invisispec-future",
+    factory=_build_invisispec_future,
+    display_name="InvisiSpec-Future",
+    description="InvisiSpec under the futuristic threat model (loads stay "
+                "invisible until they cannot be squashed).",
+    timing_invariant=True,
+    uses_speculative_buffers=True,
+    figure_series=True,
+    builtin=True))

@@ -65,3 +65,38 @@ class STTMemorySystem(UnprotectedMemorySystem):
     @property
     def delayed_forwards(self) -> int:
         return self._delayed_forwards.value
+
+
+# -- scheme registration ------------------------------------------------------
+from repro.schemes import SchemeSpec, _register_builtin
+
+
+def _build_stt_spectre(config, **kwargs):
+    return STTMemorySystem(config, future_variant=False, **kwargs)
+
+
+def _build_stt_future(config, **kwargs):
+    return STTMemorySystem(config, future_variant=True, **kwargs)
+
+
+_register_builtin(SchemeSpec(
+    name="stt-spectre",
+    factory=_build_stt_spectre,
+    display_name="STT-Spectre",
+    description="Speculative taint tracking: dependent transmitters wait "
+                "for branch resolution (Spectre threat model).",
+    timing_invariant=True,
+    delays_transmitters=True,
+    figure_series=True,
+    builtin=True))
+
+_register_builtin(SchemeSpec(
+    name="stt-future",
+    factory=_build_stt_future,
+    display_name="STT-Future",
+    description="STT under the futuristic threat model (taint clears only "
+                "when the load can no longer be squashed).",
+    timing_invariant=True,
+    delays_transmitters=True,
+    figure_series=True,
+    builtin=True))

@@ -161,3 +161,15 @@ class UnprotectedMemorySystem(MemorySystem):
     def drain(self, core_id: int, now: int) -> None:
         """End of run: deliver prefetcher-training events still buffered."""
         self.hierarchy.flush_speculative_training(now)
+
+
+# -- scheme registration ------------------------------------------------------
+from repro.schemes import SchemeSpec, _register_builtin
+
+_register_builtin(SchemeSpec(
+    name="unprotected",
+    factory=UnprotectedMemorySystem,
+    display_name="Unprotected",
+    description="The conventional hierarchy with no speculative-execution "
+                "defence (the paper's baseline).",
+    builtin=True))

@@ -11,11 +11,20 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field, replace
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 
 class ProtectionMode(enum.Enum):
-    """Which defence (if any) the simulated memory system implements."""
+    """The built-in protection schemes, as a (deprecated) enum.
+
+    Scheme identity is a *name* resolved through the registry in
+    :mod:`repro.schemes`; this enum survives as a thin alias for the seven
+    built-in names so existing code (and configs pickled by older
+    versions) keeps working.  New code should pass scheme name strings —
+    every ``mode`` field and ``with_mode`` helper accepts them — and query
+    capabilities via :func:`repro.schemes.get_scheme` rather than these
+    properties.
+    """
 
     UNPROTECTED = "unprotected"
     INSECURE_L0 = "insecure-l0"
@@ -27,16 +36,44 @@ class ProtectionMode(enum.Enum):
 
     @property
     def is_invisispec(self) -> bool:
-        return self in (ProtectionMode.INVISISPEC_SPECTRE,
-                        ProtectionMode.INVISISPEC_FUTURE)
+        """Deprecated: resolves through the scheme registry."""
+        from repro.schemes import get_scheme
+        return get_scheme(self).uses_speculative_buffers
 
     @property
     def is_stt(self) -> bool:
-        return self in (ProtectionMode.STT_SPECTRE, ProtectionMode.STT_FUTURE)
+        """Deprecated: resolves through the scheme registry."""
+        from repro.schemes import get_scheme
+        return get_scheme(self).delays_transmitters
 
     @property
     def uses_filter_cache(self) -> bool:
-        return self in (ProtectionMode.MUONTRAP, ProtectionMode.INSECURE_L0)
+        """Deprecated: resolves through the scheme registry."""
+        from repro.schemes import get_scheme
+        return get_scheme(self).supports_filter_caches
+
+
+#: A protection scheme reference: a registry name, or (for the builtins)
+#: the deprecated enum member.  Configs normalise builtin names to the
+#: enum, so equality and hashing are unaffected by which form callers use.
+SchemeLike = Union[str, ProtectionMode]
+
+
+def scheme_name(mode: SchemeLike) -> str:
+    """The canonical registry name of a scheme reference."""
+    if isinstance(mode, ProtectionMode):
+        return mode.value
+    return str(mode)
+
+
+def _normalise_mode(mode: SchemeLike) -> SchemeLike:
+    """Builtin names become enum members; custom names stay strings."""
+    if isinstance(mode, ProtectionMode):
+        return mode
+    try:
+        return ProtectionMode(mode)
+    except ValueError:
+        return str(mode)
 
 
 @dataclass(frozen=True)
@@ -205,6 +242,16 @@ class ProtectionConfig:
         """The default MuonTrap configuration evaluated in the paper."""
         return ProtectionConfig()
 
+    def to_dict(self) -> Dict[str, Any]:
+        """A lossless, JSON-ready description (see :mod:`repro.common.machine`)."""
+        from repro.common.machine import config_to_dict
+        return config_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ProtectionConfig":
+        from repro.common.machine import config_from_dict
+        return config_from_dict(payload, cls)
+
 
 def _default_l1i() -> CacheConfig:
     return CacheConfig(name="l1i", size_bytes=32 * 1024, associativity=2,
@@ -230,7 +277,7 @@ class CoreConfig:
     protection).
     """
 
-    mode: ProtectionMode = ProtectionMode.MUONTRAP
+    mode: SchemeLike = ProtectionMode.MUONTRAP
     pipeline: PipelineConfig = field(default_factory=PipelineConfig)
     l1i: CacheConfig = field(default_factory=_default_l1i)
     l1d: CacheConfig = field(default_factory=_default_l1d)
@@ -241,17 +288,33 @@ class CoreConfig:
     protection: ProtectionConfig = field(default_factory=ProtectionConfig)
 
     def __post_init__(self) -> None:
+        object.__setattr__(self, "mode", _normalise_mode(self.mode))
         if self.l1d.line_size != self.l1i.line_size:
             raise ValueError("a core's L1 line sizes must match")
         if (self.private_l2 is not None
                 and self.private_l2.line_size != self.l1d.line_size):
             raise ValueError("private L2 line size must match the core's L1s")
 
-    def with_mode(self, mode: ProtectionMode) -> "CoreConfig":
+    @property
+    def scheme(self) -> str:
+        """The core's protection-scheme name (registry key)."""
+        return scheme_name(self.mode)
+
+    def with_mode(self, mode: SchemeLike) -> "CoreConfig":
         return replace(self, mode=mode)
 
     def with_protection(self, protection: ProtectionConfig) -> "CoreConfig":
         return replace(self, protection=protection)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A lossless, JSON-ready description (see :mod:`repro.common.machine`)."""
+        from repro.common.machine import config_to_dict
+        return config_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "CoreConfig":
+        from repro.common.machine import config_from_dict
+        return config_from_dict(payload, cls)
 
 
 #: Pipeline of a small in-order-ish efficiency core: 2-wide, shallow
@@ -266,7 +329,7 @@ LITTLE_PIPELINE = PipelineConfig(
     mispredict_penalty=8, frequency_ghz=1.2)
 
 
-def big_core(mode: ProtectionMode = ProtectionMode.MUONTRAP,
+def big_core(mode: SchemeLike = ProtectionMode.MUONTRAP,
              private_l2: Optional[CacheConfig] = None,
              protection: Optional[ProtectionConfig] = None) -> CoreConfig:
     """A Table 1 big core, under the requested protection scheme."""
@@ -274,7 +337,7 @@ def big_core(mode: ProtectionMode = ProtectionMode.MUONTRAP,
                       protection=protection or ProtectionConfig())
 
 
-def little_core(mode: ProtectionMode = ProtectionMode.MUONTRAP,
+def little_core(mode: SchemeLike = ProtectionMode.MUONTRAP,
                 private_l2: Optional[CacheConfig] = None,
                 protection: Optional[ProtectionConfig] = None) -> CoreConfig:
     """A LITTLE core: 2-wide pipeline, halved L1s, same filter geometry."""
@@ -302,7 +365,7 @@ class SystemConfig:
     is bit-identical to not passing one at all.
     """
 
-    mode: ProtectionMode = ProtectionMode.MUONTRAP
+    mode: SchemeLike = ProtectionMode.MUONTRAP
     num_cores: int = 1
     core: PipelineConfig = field(default_factory=PipelineConfig)
     l1i: CacheConfig = field(default_factory=_default_l1i)
@@ -329,6 +392,7 @@ class SystemConfig:
     cores: Optional[Tuple[CoreConfig, ...]] = None
 
     def __post_init__(self) -> None:
+        object.__setattr__(self, "mode", _normalise_mode(self.mode))
         if self.num_cores < 1:
             raise ValueError("need at least one core")
         if self.l1d.line_size != self.l2.line_size:
@@ -391,21 +455,26 @@ class SystemConfig:
         return replace(self, cores=tuple(self.core_configs()))
 
     @property
-    def core_modes(self) -> Tuple[ProtectionMode, ...]:
+    def core_modes(self) -> Tuple[SchemeLike, ...]:
         return tuple(core.mode for core in self.core_configs())
+
+    @property
+    def core_schemes(self) -> Tuple[str, ...]:
+        """Per-core protection-scheme names (registry keys)."""
+        return tuple(core.scheme for core in self.core_configs())
 
     @property
     def is_scheme_heterogeneous(self) -> bool:
         """True when different cores run different protection schemes."""
-        return len(set(self.core_modes)) > 1
+        return len(set(self.core_schemes)) > 1
 
     @property
     def mode_label(self) -> str:
         """The mode string reports carry: one scheme, or the per-core list."""
-        modes = self.core_modes
-        if len(set(modes)) == 1:
-            return modes[0].value
-        return "+".join(mode.value for mode in modes)
+        schemes = self.core_schemes
+        if len(set(schemes)) == 1:
+            return schemes[0]
+        return "+".join(schemes)
 
     # -- uniform overrides ----------------------------------------------------
     def _override(self, **fields) -> "SystemConfig":
@@ -426,7 +495,7 @@ class SystemConfig:
             cores = tuple(replace(core, **per_core) for core in cores)
         return replace(self, cores=cores, **fields)
 
-    def with_mode(self, mode: ProtectionMode) -> "SystemConfig":
+    def with_mode(self, mode: SchemeLike) -> "SystemConfig":
         return self._override(mode=mode)
 
     def with_protection(self, protection: ProtectionConfig) -> "SystemConfig":
@@ -457,19 +526,35 @@ class SystemConfig:
         """An explicitly heterogeneous machine built from per-core configs."""
         return replace(self, num_cores=len(cores), cores=tuple(cores))
 
+    # -- serialisation --------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """A lossless, JSON-ready machine description.
 
-def default_system_config(mode: ProtectionMode = ProtectionMode.MUONTRAP,
+        The inverse of :meth:`from_dict`; see :mod:`repro.common.machine`
+        for the schema (versioned, unknown keys rejected).
+        """
+        from repro.common.machine import config_to_dict
+        return config_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "SystemConfig":
+        """Build a machine from a (possibly partial) description dict."""
+        from repro.common.machine import config_from_dict
+        return config_from_dict(payload, cls)
+
+
+def default_system_config(mode: SchemeLike = ProtectionMode.MUONTRAP,
                           num_cores: int = 1) -> SystemConfig:
     """The Table 1 system, in the requested protection mode."""
     return SystemConfig(mode=mode, num_cores=num_cores)
 
 
-def spec_system_config(mode: ProtectionMode = ProtectionMode.MUONTRAP) -> SystemConfig:
+def spec_system_config(mode: SchemeLike = ProtectionMode.MUONTRAP) -> SystemConfig:
     """Single-core system used for SPEC CPU2006 experiments."""
     return default_system_config(mode=mode, num_cores=1)
 
 
-def parsec_system_config(mode: ProtectionMode = ProtectionMode.MUONTRAP,
+def parsec_system_config(mode: SchemeLike = ProtectionMode.MUONTRAP,
                          num_cores: int = 4) -> SystemConfig:
     """Four-core system used for Parsec experiments."""
     return default_system_config(mode=mode, num_cores=num_cores)
@@ -481,7 +566,7 @@ DEFAULT_PRIVATE_L2 = CacheConfig(name="l2p", size_bytes=256 * 1024,
                                  associativity=8, hit_latency=10, mshrs=8)
 
 
-def corun_system_config(mode: ProtectionMode = ProtectionMode.MUONTRAP,
+def corun_system_config(mode: SchemeLike = ProtectionMode.MUONTRAP,
                         num_cores: int = 2,
                         private_l2: bool = True) -> SystemConfig:
     """A multi-programmed co-run system: one private hierarchy per core.
@@ -503,7 +588,7 @@ LITTLE_PRIVATE_L2 = CacheConfig(name="l2p", size_bytes=128 * 1024,
                                 associativity=8, hit_latency=8, mshrs=4)
 
 
-def heterogeneous_corun_config(modes: Sequence[ProtectionMode],
+def heterogeneous_corun_config(modes: Sequence[SchemeLike],
                                private_l2: bool = True) -> SystemConfig:
     """A co-run machine of identical big cores under *per-core* schemes.
 
@@ -522,8 +607,8 @@ def heterogeneous_corun_config(modes: Sequence[ProtectionMode],
 
 
 def biglittle_system_config(
-        big_modes: Sequence[ProtectionMode],
-        little_modes: Sequence[ProtectionMode]) -> SystemConfig:
+        big_modes: Sequence[SchemeLike],
+        little_modes: Sequence[SchemeLike]) -> SystemConfig:
     """A big.LITTLE machine: Table 1 big cores beside 2-wide LITTLE cores.
 
     Each big core owns the default 256 KiB private L2, each LITTLE core a

@@ -407,3 +407,18 @@ class MuonTrapMemorySystem(MemorySystem):
         if not self._committed_stores.value:
             return 0.0
         return self._store_broadcasts.value / self._committed_stores.value
+
+
+# -- scheme registration ------------------------------------------------------
+from repro.schemes import SchemeSpec, _register_builtin
+
+_register_builtin(SchemeSpec(
+    name="muontrap",
+    factory=MuonTrapMemorySystem,
+    display_name="MuonTrap",
+    description="The paper's contribution: speculative filter caches with "
+                "timing-invariant coherence protection.",
+    timing_invariant=True,
+    supports_filter_caches=True,
+    figure_series=True,
+    builtin=True))

@@ -22,7 +22,6 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.common.params import ProtectionMode, SystemConfig
 from repro.common.statistics import geometric_mean
-from repro.core.muontrap import MuonTrapMemorySystem
 from repro.harness.report import Report
 from repro.sim.runner import (
     ExperimentRunner,
@@ -30,17 +29,13 @@ from repro.sim.runner import (
     standard_modes,
     unprotected_config,
 )
-from repro.sim.simulator import Simulator
 from repro.sim.sweeps import (
     DEFAULT_ASSOCIATIVITY_SWEEP,
     DEFAULT_SIZE_SWEEP,
     filter_cache_associativity_configs,
     filter_cache_size_configs,
 )
-from repro.sim.system import build_system
-from repro.workloads.generator import generate_workload
 from repro.workloads.profiles import (
-    get_profile,
     parsec_benchmarks,
     spec_benchmarks,
 )
@@ -169,20 +164,20 @@ def figure6(runner: Optional[ExperimentRunner] = None,
 def figure7(runner: Optional[ExperimentRunner] = None,
             benchmarks: Optional[Sequence[str]] = None) -> FigureResult:
     """Figure 7: proportion of writes triggering filter-cache invalidates."""
+    from repro import api
     runner = runner or ExperimentRunner()
     benchmarks = list(benchmarks or spec_benchmarks())
     rates: Dict[str, float] = {}
     for benchmark in benchmarks:
-        profile = get_profile(benchmark)
-        workload = generate_workload(profile, runner.instructions,
-                                     seed=runner.seed)
-        system = build_system(SystemConfig(mode=ProtectionMode.MUONTRAP,
-                                           num_cores=1), seed=runner.seed)
-        simulator = Simulator(system)
-        simulator.run(workload, warmup_fraction=0.0)
-        memory = system.memory_system
-        assert isinstance(memory, MuonTrapMemorySystem)
-        rates[benchmark] = memory.filter_invalidate_rate()
+        outcome = api.simulate(
+            benchmark, "muontrap", seed=runner.seed,
+            instructions=runner.instructions, warmup_fraction=0.0,
+            collect_stats=True, store=runner.store)
+        stores = outcome.stats.get(
+            "system.memory_system.committed_stores", 0)
+        broadcasts = outcome.stats.get(
+            "system.memory_system.store_filter_broadcasts", 0)
+        rates[benchmark] = broadcasts / stores if stores else 0.0
     result = FigureResult(
         figure="figure7",
         description="Proportion of committed stores that trigger a "

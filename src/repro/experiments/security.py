@@ -14,17 +14,17 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Type
 
 from repro.attacks import ALL_ATTACKS, AttackOutcome
-from repro.common.params import ProtectionMode
+from repro.common.params import ProtectionMode, SchemeLike, scheme_name
 
 
 @dataclass
 class SecurityMatrix:
-    """attack name -> {mode -> leaked?}."""
+    """attack name -> {scheme -> leaked?}."""
 
     outcomes: Dict[str, Dict[str, AttackOutcome]] = field(default_factory=dict)
 
-    def leaked(self, attack: str, mode: ProtectionMode) -> bool:
-        return self.outcomes[attack][mode.value].succeeded
+    def leaked(self, attack: str, mode: SchemeLike) -> bool:
+        return self.outcomes[attack][scheme_name(mode)].succeeded
 
     def rows(self) -> List[List[str]]:
         modes = sorted({mode for per_attack in self.outcomes.values()
@@ -55,9 +55,14 @@ class SecurityMatrix:
 
 
 def run_security_evaluation(
-        modes: Optional[Sequence[ProtectionMode]] = None,
+        modes: Optional[Sequence[SchemeLike]] = None,
         attacks: Optional[Sequence[Type]] = None) -> SecurityMatrix:
-    """Run every attack against every requested protection mode."""
+    """Run every attack against every requested protection scheme.
+
+    ``modes`` accepts registry scheme names (and the deprecated enum
+    members); the default pits the baseline that must leak against the
+    scheme that must not.
+    """
     modes = list(modes or [ProtectionMode.UNPROTECTED,
                            ProtectionMode.MUONTRAP])
     attacks = list(attacks or ALL_ATTACKS)
@@ -65,6 +70,6 @@ def run_security_evaluation(
     for attack_cls in attacks:
         per_mode: Dict[str, AttackOutcome] = {}
         for mode in modes:
-            per_mode[mode.value] = attack_cls(mode=mode).run()
+            per_mode[scheme_name(mode)] = attack_cls(mode=mode).run()
         matrix.outcomes[attack_cls.name] = per_mode
     return matrix

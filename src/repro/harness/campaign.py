@@ -195,8 +195,12 @@ class CampaignResult:
     def normalised(self) -> Dict[str, Dict[str, float]]:
         """label -> {benchmark -> execution time normalised to baseline}.
 
-        With several replicates the per-seed ratios are averaged; with one
-        seed this is exactly cycles / baseline cycles.
+        Times are frequency-scaled
+        (:attr:`~repro.sim.simulator.SimulationResult.time`): on machines
+        whose cores all run at the reference clock this is exactly
+        cycles / baseline cycles, while heterogeneous-frequency machines
+        (big.LITTLE) are credited for their faster clocks.  With several
+        replicates the per-seed ratios are averaged.
         """
         series: Dict[str, Dict[str, float]] = {}
         for label in self.labels:
@@ -209,8 +213,8 @@ class CampaignResult:
                     baseline = self.runs[(benchmark, self.baseline_label,
                                           seed)]
                     run = self.runs[(benchmark, label, seed)]
-                    ratios.append(run.cycles / baseline.cycles
-                                  if baseline.cycles else 0.0)
+                    ratios.append(run.time / baseline.time
+                                  if baseline.time else 0.0)
                 values[benchmark] = sum(ratios) / len(ratios)
             series[label] = values
         return series
@@ -262,14 +266,14 @@ class CampaignResult:
                         base_parts = baseline_parts[(benchmark, seed)]
                         for member, part in run.per_benchmark().items():
                             base = base_parts.get(member)
-                            ratio = (part.cycles / base.cycles
-                                     if base is not None and base.cycles
+                            ratio = (part.time / base.time
+                                     if base is not None and base.time
                                      else 0.0)
                             values.setdefault(f"{benchmark}:{member}",
                                               []).append(ratio)
                     else:
-                        ratio = (run.cycles / baseline.cycles
-                                 if baseline.cycles else 0.0)
+                        ratio = (run.time / baseline.time
+                                 if baseline.time else 0.0)
                         values.setdefault(benchmark, []).append(ratio)
             series[label] = {row: sum(ratios) / len(ratios)
                              for row, ratios in values.items()}
@@ -294,7 +298,9 @@ class Campaign:
                  warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
                  collect_stats: bool = False,
                  store: Optional[ResultStore] = None,
-                 jobs: Optional[int] = None) -> None:
+                 jobs: Optional[int] = None,
+                 cache: Optional[Dict[str, SimulationResult]] = None
+                 ) -> None:
         if not benchmarks:
             raise ValueError("campaign needs at least one benchmark")
         if not configs:
@@ -313,7 +319,10 @@ class Campaign:
         self.collect_stats = collect_stats
         self.store = store
         self.jobs = jobs
-        self._cache: Dict[str, SimulationResult] = {}
+        # An external cache (e.g. an ExperimentRunner's) may be shared so
+        # several campaigns reuse each other's in-memory results.
+        self._cache: Dict[str, SimulationResult] = \
+            cache if cache is not None else {}
 
     @classmethod
     def from_suites(cls, suites: Sequence[str], *args, **kwargs) -> "Campaign":

@@ -31,7 +31,8 @@ from repro.sim.simulator import SimulationResult
 from repro.workloads.profiles import WorkloadProfile
 
 #: Bump when the serialised result layout changes; stale entries are ignored.
-STORE_VERSION = 1
+#: v2: results carry per-core clock frequencies (frequency-scaled times).
+STORE_VERSION = 2
 
 
 def _jsonable(value: Any) -> Any:
@@ -91,6 +92,7 @@ def result_to_dict(result: SimulationResult) -> Dict[str, Any]:
         "core_benchmarks": list(result.core_benchmarks),
         "core_warmup_cycles": list(result.core_warmup_cycles),
         "core_warmup_instructions": list(result.core_warmup_instructions),
+        "core_frequencies_ghz": list(result.core_frequencies_ghz),
     }
 
 
@@ -108,6 +110,8 @@ def result_from_dict(payload: Dict[str, Any]) -> SimulationResult:
         core_warmup_cycles=list(payload.get("core_warmup_cycles", [])),
         core_warmup_instructions=list(
             payload.get("core_warmup_instructions", [])),
+        core_frequencies_ghz=list(
+            payload.get("core_frequencies_ghz", [])),
     )
 
 

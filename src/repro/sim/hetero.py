@@ -28,40 +28,26 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional
 
-from repro.baselines.insecure_l0 import InsecureL0MemorySystem
-from repro.baselines.invisispec import InvisiSpecMemorySystem
-from repro.baselines.stt import STTMemorySystem
-from repro.baselines.unprotected import UnprotectedMemorySystem
 from repro.caches.hierarchy import NonSpeculativeHierarchy
-from repro.common.params import ProtectionMode, SystemConfig
+from repro.common.params import SchemeLike, SystemConfig
 from repro.common.rng import DeterministicRng
 from repro.common.statistics import StatGroup
-from repro.core.muontrap import MuonTrapMemorySystem
 from repro.cpu.interface import MemoryAccessResult, MemorySystem
 from repro.memory.page_table import PageTableManager
+from repro.schemes import get_scheme
 
 
-def frontend_factory(mode: ProtectionMode) -> Callable[..., MemorySystem]:
-    if mode is ProtectionMode.MUONTRAP:
-        return MuonTrapMemorySystem
-    if mode is ProtectionMode.UNPROTECTED:
-        return UnprotectedMemorySystem
-    if mode is ProtectionMode.INSECURE_L0:
-        return InsecureL0MemorySystem
-    if mode.is_invisispec:
-        def build_invisispec(config, **kwargs):
-            return InvisiSpecMemorySystem(
-                config,
-                future_variant=mode is ProtectionMode.INVISISPEC_FUTURE,
-                **kwargs)
-        return build_invisispec
-    if mode.is_stt:
-        def build_stt(config, **kwargs):
-            return STTMemorySystem(
-                config, future_variant=mode is ProtectionMode.STT_FUTURE,
-                **kwargs)
-        return build_stt
-    raise ValueError(f"unknown protection mode: {mode!r}")
+def frontend_factory(mode: SchemeLike) -> Callable[..., MemorySystem]:
+    """The memory-system factory of one scheme.
+
+    A thin wrapper over the scheme registry (:mod:`repro.schemes`), kept
+    because every construction site historically dispatched through this
+    name.  Accepts scheme name strings and (deprecated)
+    :class:`~repro.common.params.ProtectionMode` members alike; raises
+    :class:`~repro.schemes.UnknownSchemeError` (a ``ValueError``) for
+    unregistered names.
+    """
+    return get_scheme(mode).factory
 
 
 class HeterogeneousMemorySystem(MemorySystem):
@@ -85,18 +71,19 @@ class HeterogeneousMemorySystem(MemorySystem):
         # One frontend per scheme present, each serving its cores.  Stats
         # nest under the scheme slug so two frontends never share counters:
         # hetero.muontrap.core0.data_filter..., hetero.unprotected.core1...
-        by_mode: Dict[ProtectionMode, List[int]] = {}
+        by_scheme: Dict[str, List[int]] = {}
         for core_id in range(config.num_cores):
-            by_mode.setdefault(config.core_config(core_id).mode,
-                               []).append(core_id)
+            by_scheme.setdefault(config.core_config(core_id).scheme,
+                                 []).append(core_id)
         self._frontends: Dict[int, MemorySystem] = {}
-        self.scheme_frontends: Dict[ProtectionMode, MemorySystem] = {}
-        for mode, core_ids in by_mode.items():
-            frontend = frontend_factory(mode)(
+        self.scheme_frontends: Dict[str, MemorySystem] = {}
+        for scheme, core_ids in by_scheme.items():
+            spec = get_scheme(scheme)
+            frontend = spec.factory(
                 config, page_tables=self.page_tables,
-                stats=stats.child(mode.value.replace("-", "_")),
+                stats=stats.child(spec.slug),
                 rng=rng, hierarchy=self.hierarchy, core_ids=core_ids)
-            self.scheme_frontends[mode] = frontend
+            self.scheme_frontends[scheme] = frontend
             for core_id in core_ids:
                 self._frontends[core_id] = frontend
 

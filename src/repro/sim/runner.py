@@ -47,7 +47,14 @@ def env_int(name: str, minimum: int = 1) -> Optional[int]:
         raise ValueError(
             f"environment variable {name} must be an integer, "
             f"got {raw!r}") from None
-    return max(minimum, value)
+    if value < minimum:
+        # A set-but-too-small value (REPRO_JOBS=0, REPRO_INSTRUCTIONS=10)
+        # is the same class of configuration mistake as a non-integer one;
+        # silently clamping it would hide the error.
+        raise ValueError(
+            f"environment variable {name} must be at least {minimum}, "
+            f"got {raw!r}")
+    return value
 
 
 def instructions_per_workload(explicit: Optional[int] = None,
@@ -157,13 +164,17 @@ class ExperimentRunner:
     def run_profile(self, profile: WorkloadProfile, config: SystemConfig,
                     label: Optional[str] = None,
                     collect_stats: bool = False) -> BenchmarkRun:
-        from repro.harness.campaign import execute_cells
+        # Single runs route through the public facade (repro.api), sharing
+        # this runner's in-memory cache and result store.
+        from repro import api
         label = label or config.mode_label
-        spec = self._spec(profile, config, label, collect_stats)
-        results = execute_cells([spec], jobs=1, store=self.store,
-                                cache=self._cache)
+        outcome = api.simulate(
+            profile, config, seed=self.seed, instructions=self.instructions,
+            warmup_fraction=self.warmup_fraction,
+            collect_stats=collect_stats, label=label, store=self.store,
+            cache=self._cache)
         return BenchmarkRun(benchmark=profile.name, mode_label=label,
-                            result=results[spec.key()])
+                            result=outcome.result)
 
     # -- normalised comparisons ---------------------------------------------------
     def normalised_series(self, benchmarks: Sequence[str],
@@ -175,50 +186,37 @@ class ExperimentRunner:
 
         Returns one :class:`NormalisedSeries` per configuration label, with
         values >1 meaning slower than the unprotected baseline (the paper's
-        convention: "normalised execution time, lower is better").  The
-        whole matrix is expanded up front and executed through
-        :func:`repro.harness.campaign.execute_cells`, so independent cells
-        run concurrently when more than one job is configured.
+        convention: "normalised execution time, lower is better").  Times
+        are frequency-scaled (identical to raw cycle counts when every
+        core runs at the reference clock).  The matrix routes through the
+        public facade (:func:`repro.api.build_comparison`, the campaign
+        layer underneath), so independent cells run concurrently when
+        more than one job is configured.
         """
-        from repro.harness.campaign import execute_cells
-        matrix = []  # (label, benchmark, spec) preserving caller order
-        for benchmark in benchmarks:
-            profile = get_profile(benchmark)
-            matrix.append((baseline_label, benchmark,
-                           self._spec(profile, baseline_config,
-                                      baseline_label, False)))
-            for label, config in configs.items():
-                matrix.append((label, benchmark,
-                               self._spec(profile, config, label, False)))
-        results = execute_cells([spec for _, _, spec in matrix],
-                                jobs=self.jobs, store=self.store,
-                                cache=self._cache)
-        cycles = {(label, benchmark): results[spec.key()].cycles
-                  for label, benchmark, spec in matrix}
-        series = {label: NormalisedSeries(label=label) for label in configs}
-        for benchmark in benchmarks:
-            baseline_cycles = cycles[(baseline_label, benchmark)]
-            for label in configs:
-                series[label].values[benchmark] = (
-                    cycles[(label, benchmark)] / baseline_cycles
-                    if baseline_cycles else 0.0)
-        return series
+        from repro import api
+        campaign = api.build_comparison(
+            dict(configs), list(benchmarks), baseline=baseline_config,
+            baseline_label=baseline_label,
+            instructions=self.instructions, seed=self.seed,
+            warmup_fraction=self.warmup_fraction, store=self.store,
+            jobs=self.jobs, cache=self._cache)
+        return campaign.run().normalised_series()
 
     def clear_cache(self) -> None:
         self._cache.clear()
 
 
 def standard_modes(num_cores: int = 1) -> Dict[str, SystemConfig]:
-    """The five schemes compared in Figures 3 and 4."""
+    """The five schemes compared in Figures 3 and 4.
+
+    Derived from the scheme registry (the specs flagged
+    ``figure_series``), so a registered scheme can opt into the standard
+    comparison without this module changing.
+    """
+    from repro.schemes import figure_series_schemes
     base = SystemConfig(num_cores=num_cores)
-    return {
-        "MuonTrap": base.with_mode(ProtectionMode.MUONTRAP),
-        "InvisiSpec-Spectre": base.with_mode(
-            ProtectionMode.INVISISPEC_SPECTRE),
-        "InvisiSpec-Future": base.with_mode(ProtectionMode.INVISISPEC_FUTURE),
-        "STT-Spectre": base.with_mode(ProtectionMode.STT_SPECTRE),
-        "STT-Future": base.with_mode(ProtectionMode.STT_FUTURE),
-    }
+    return {spec.display_name: base.with_mode(spec.name)
+            for spec in figure_series_schemes()}
 
 
 def unprotected_config(num_cores: int = 1) -> SystemConfig:

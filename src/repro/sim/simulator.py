@@ -34,6 +34,14 @@ from repro.cpu.core import CoreResult
 from repro.sim.system import SimulatedSystem
 from repro.workloads.trace import Trace, WorkloadTraces
 
+#: The Table 1 core clock.  Execution *times* are reported in cycles of
+#: this reference clock: a core running at a different
+#: ``PipelineConfig.frequency_ghz`` has its cycle count scaled by
+#: ``reference / frequency``, so a 2× faster clock halves the reported
+#: time at identical cycle counts.  At the reference frequency the scale
+#: factor is exactly 1.0 and times coincide with raw cycle counts.
+REFERENCE_FREQUENCY_GHZ = 2.0
+
 
 @dataclass
 class SimulationResult:
@@ -55,10 +63,55 @@ class SimulationResult:
     #: aggregate numbers do.
     core_warmup_cycles: List[int] = field(default_factory=list)
     core_warmup_instructions: List[int] = field(default_factory=list)
+    #: Per-core clock frequencies (one entry per ``core_results`` entry;
+    #: empty means every core ran at the reference clock).  Applied as a
+    #: cycle-time multiplier by the ``*_time``/``*_seconds`` accessors.
+    core_frequencies_ghz: List[float] = field(default_factory=list)
 
     @property
     def ipc(self) -> float:
         return self.instructions / self.cycles if self.cycles else 0.0
+
+    # -- frequency-scaled times ----------------------------------------------
+    def _frequencies(self) -> List[float]:
+        if self.core_frequencies_ghz:
+            return list(self.core_frequencies_ghz)
+        return [REFERENCE_FREQUENCY_GHZ] * len(self.core_results)
+
+    def core_times(self) -> List[float]:
+        """Per-core post-warm-up execution time, in reference-clock cycles.
+
+        A core at the reference frequency contributes exactly its cycle
+        count; a core clocked ``k``× faster contributes ``cycles / k``.
+        """
+        warmups = list(self.core_warmup_cycles)
+        warmups += [0] * (len(self.core_results) - len(warmups))
+        return [(core.cycles - warmup)
+                * (REFERENCE_FREQUENCY_GHZ / frequency)
+                for core, warmup, frequency
+                in zip(self.core_results, warmups, self._frequencies())]
+
+    @property
+    def time(self) -> float:
+        """Execution time in reference-clock cycles (the report metric).
+
+        Identical to ``float(cycles)`` when every core runs at the
+        reference frequency, which keeps homogeneous results bit-identical
+        to the historical cycle-based accounting.
+        """
+        if not self.core_results:
+            return float(self.cycles)
+        return max(self.core_times())
+
+    def core_wall_seconds(self) -> List[float]:
+        """Per-core post-warm-up wall-clock time in simulated seconds."""
+        return [time / (REFERENCE_FREQUENCY_GHZ * 1e9)
+                for time in self.core_times()]
+
+    @property
+    def wall_seconds(self) -> float:
+        """Whole-workload wall-clock execution time in simulated seconds."""
+        return self.time / (REFERENCE_FREQUENCY_GHZ * 1e9)
 
     @property
     def is_corun(self) -> bool:
@@ -79,23 +132,26 @@ class SimulationResult:
                          or [0] * len(self.core_results))
         warmup_instructions = (self.core_warmup_instructions
                                or [0] * len(self.core_results))
+        frequencies = self._frequencies()
         parts: Dict[str, SimulationResult] = {}
         for benchmark in dict.fromkeys(self.core_benchmarks):
-            rows = [(core, warm_cycles, warm_instructions)
-                    for core, owner, warm_cycles, warm_instructions
+            rows = [(core, warm_cycles, warm_instructions, frequency)
+                    for core, owner, warm_cycles, warm_instructions, frequency
                     in zip(self.core_results, self.core_benchmarks,
-                           warmup_cycles, warmup_instructions)
+                           warmup_cycles, warmup_instructions, frequencies)
                     if owner == benchmark]
             parts[benchmark] = SimulationResult(
                 benchmark=benchmark,
                 mode=self.mode,
                 cycles=max((core.cycles - warm_cycles
-                            for core, warm_cycles, _ in rows), default=0),
+                            for core, warm_cycles, _, _ in rows), default=0),
                 instructions=sum(core.committed_instructions
                                  - warm_instructions
-                                 for core, _, warm_instructions in rows),
-                core_results=[core for core, _, _ in rows],
-                core_benchmarks=[benchmark] * len(rows))
+                                 for core, _, warm_instructions, _ in rows),
+                core_results=[core for core, _, _, _ in rows],
+                core_benchmarks=[benchmark] * len(rows),
+                core_warmup_cycles=[warm for _, warm, _, _ in rows],
+                core_frequencies_ghz=[freq for _, _, _, freq in rows])
         return parts
 
     def normalised_to(self, baseline: "SimulationResult") -> float:
@@ -169,9 +225,10 @@ class Simulator:
             instructions = sum(result.committed_instructions
                                for result in core_results)
         stats = self.system.stats.as_dict() if collect_stats else {}
+        config = self.system.config
         return SimulationResult(
             benchmark=workload.benchmark,
-            mode=self.system.config.mode_label,
+            mode=config.mode_label,
             cycles=cycles,
             instructions=instructions,
             core_results=core_results,
@@ -179,7 +236,10 @@ class Simulator:
             warmup_cycles=warmup_cycles,
             core_benchmarks=[trace.benchmark for trace in traces],
             core_warmup_cycles=warmup_ends[:len(traces)],
-            core_warmup_instructions=splits)
+            core_warmup_instructions=splits,
+            core_frequencies_ghz=[
+                config.core_config(core_id).pipeline.frequency_ghz
+                for core_id in range(config.num_cores)])
 
     def run_trace_on_core(self, trace: Trace, core_index: int) -> CoreResult:
         """Run a single trace to completion on one core (test helper)."""

@@ -43,21 +43,23 @@ def build_memory_system(config: SystemConfig,
     provided — identical entries are bit-identical to the homogeneous
     path).  Mixed schemes get the
     :class:`~repro.sim.hetero.HeterogeneousMemorySystem` composite: one
-    shared fabric, one scheme frontend per protection mode.
+    shared fabric, one scheme frontend per protection scheme.
     """
-    from repro.sim.hetero import HeterogeneousMemorySystem, frontend_factory
+    from repro.schemes import get_scheme
+    from repro.sim.hetero import HeterogeneousMemorySystem
 
     if config.is_scheme_heterogeneous:
         return HeterogeneousMemorySystem(config, page_tables=page_tables,
                                          stats=stats, rng=rng)
-    # Uniform machines dispatch on the (single) per-core mode, so an
+    # Uniform machines dispatch on the (single) per-core scheme, so an
     # explicit per-core list can override the machine-level ``mode`` field.
-    # The mode -> memory-system table is shared with the heterogeneous
-    # composite (one authoritative dispatch).
+    # The scheme registry (repro.schemes) is the one authoritative
+    # name -> memory-system dispatch, shared with the heterogeneous
+    # composite.
     mode = config.core_config(0).mode if config.cores is not None \
         else config.mode
-    return frontend_factory(mode)(config, page_tables=page_tables,
-                                  stats=stats, rng=rng)
+    return get_scheme(mode).factory(config, page_tables=page_tables,
+                                    stats=stats, rng=rng)
 
 
 @dataclass

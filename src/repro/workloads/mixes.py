@@ -20,16 +20,11 @@ to the mix's per-core process.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Callable, Dict, List, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, List, Tuple
 
-from repro.common.params import (
-    ProtectionMode,
-    SystemConfig,
-    biglittle_system_config,
-    corun_system_config,
-    heterogeneous_corun_config,
-)
+from repro.common.machine import machine_from_dict
+from repro.common.params import SystemConfig
 from repro.workloads.profiles import (
     PARSEC_PROFILES,
     SPEC2006_PROFILES,
@@ -95,48 +90,87 @@ def mix_names() -> List[str]:
 # -- heterogeneous machine presets -------------------------------------------
 #
 # Named machines the co-run mixes are swept over: where a MixProfile says
-# *what* runs, a machine preset says what it runs *on*.  Each preset is a
-# complete :class:`~repro.common.params.SystemConfig` with an explicit
-# per-core configuration list; `python -m repro run --machine <name>` puts
-# it in the campaign matrix beside (or instead of) the homogeneous schemes.
-# Presets are built lazily so importing this module stays cheap.
+# *what* runs, a machine preset says what it runs *on*.  Each preset is
+# pure data — a (partial) machine description resolved through
+# :func:`repro.common.machine.machine_from_dict`, exactly the format
+# ``python -m repro run --machine-file`` reads from disk — so defining a
+# new machine means writing a dict, not code.  Omitted keys take the
+# Table 1 defaults; `python -m repro run --machine <name>` puts a preset
+# in the campaign matrix beside (or instead of) the homogeneous schemes.
 
-def _biglittle_muontrap() -> SystemConfig:
-    """A fully protected big.LITTLE pair: MuonTrap on both core classes."""
-    return biglittle_system_config(
-        big_modes=[ProtectionMode.MUONTRAP],
-        little_modes=[ProtectionMode.MUONTRAP])
+#: The big cores' private L2: 256 KiB 8-way between the L1s and the LLC.
+_BIG_PRIVATE_L2: Dict[str, Any] = {
+    "name": "l2p", "size_bytes": 256 * 1024, "associativity": 8,
+    "hit_latency": 10, "mshrs": 8,
+}
+
+#: The LITTLE cores' private L2: half the capacity, slightly faster.
+_LITTLE_PRIVATE_L2: Dict[str, Any] = {
+    "name": "l2p", "size_bytes": 128 * 1024, "associativity": 8,
+    "hit_latency": 8, "mshrs": 4,
+}
+
+#: A Table 1 big core with its private L2 (mode defaults to MuonTrap).
+_BIG_CORE: Dict[str, Any] = {"private_l2": _BIG_PRIVATE_L2}
+
+#: A LITTLE core: 2-wide shallow pipeline at 1.2 GHz, halved L1s, small
+#: private L2, same filter-cache geometry as the big cores.
+_LITTLE_CORE: Dict[str, Any] = {
+    "pipeline": {
+        "width": 2, "rob_entries": 64, "iq_entries": 16,
+        "lq_entries": 16, "sq_entries": 16,
+        "int_registers": 96, "fp_registers": 96,
+        "int_alus": 2, "fp_alus": 1, "mult_div_alus": 1,
+        "branch_predictor": {
+            "local_entries": 512, "global_entries": 2048,
+            "chooser_entries": 512, "btb_entries": 1024,
+            "ras_entries": 8,
+        },
+        "mispredict_penalty": 8, "frequency_ghz": 1.2,
+    },
+    "l1i": {"name": "l1i", "size_bytes": 16 * 1024, "associativity": 2,
+            "hit_latency": 1, "mshrs": 2},
+    "l1d": {"name": "l1d", "size_bytes": 32 * 1024, "associativity": 2,
+            "hit_latency": 2, "mshrs": 2},
+    "private_l2": _LITTLE_PRIVATE_L2,
+}
 
 
-def _biglittle_asym() -> SystemConfig:
-    """big.LITTLE with only the big core protected (the LITTLE core is
-    assumed to run trusted, sandbox-free work)."""
-    return biglittle_system_config(
-        big_modes=[ProtectionMode.MUONTRAP],
-        little_modes=[ProtectionMode.UNPROTECTED])
+def _core(base: Dict[str, Any], **overrides: Any) -> Dict[str, Any]:
+    """A per-core description: a core template plus field overrides."""
+    return {**base, **overrides}
 
 
-def _asym_protect() -> SystemConfig:
-    """Two identical big cores, only core 0 protected — the asymmetric-
-    protection threat scenario of the cross-scheme attack matrix."""
-    return heterogeneous_corun_config(
-        [ProtectionMode.MUONTRAP, ProtectionMode.UNPROTECTED])
-
-
-def _scoped_invalidate() -> SystemConfig:
-    """The (insecure) filter-invalidate ablation: a homogeneous 2-core
-    MuonTrap machine whose invalidation multicast is scoped by the snoop
-    filter, quantifying the paper's timing-invariance cost."""
-    config = corun_system_config(ProtectionMode.MUONTRAP, num_cores=2)
-    return config.with_protection(
-        replace(config.protection, insecure_scoped_invalidate=True))
-
-
-MACHINE_PRESETS: Dict[str, Callable[[], SystemConfig]] = {
-    "biglittle-muontrap": _biglittle_muontrap,
-    "biglittle-asym": _biglittle_asym,
-    "asym-protect": _asym_protect,
-    "scoped-invalidate": _scoped_invalidate,
+#: name -> machine description.  ``get_machine`` resolves these through
+#: the same code path as machine files on disk.
+MACHINE_PRESETS: Dict[str, Dict[str, Any]] = {
+    # A fully protected big.LITTLE pair: MuonTrap on both core classes.
+    "biglittle-muontrap": {
+        "num_cores": 2,
+        "cores": [_core(_BIG_CORE), _core(_LITTLE_CORE)],
+    },
+    # big.LITTLE with only the big core protected (the LITTLE core is
+    # assumed to run trusted, sandbox-free work).
+    "biglittle-asym": {
+        "num_cores": 2,
+        "cores": [_core(_BIG_CORE), _core(_LITTLE_CORE,
+                                          mode="unprotected")],
+    },
+    # Two identical big cores, only core 0 protected — the asymmetric-
+    # protection threat scenario of the cross-scheme attack matrix.
+    "asym-protect": {
+        "num_cores": 2,
+        "private_l2": _BIG_PRIVATE_L2,
+        "cores": [_core(_BIG_CORE), _core(_BIG_CORE, mode="unprotected")],
+    },
+    # The (insecure) filter-invalidate ablation: a homogeneous 2-core
+    # MuonTrap machine whose invalidation multicast is scoped by the snoop
+    # filter, quantifying the paper's timing-invariance cost.
+    "scoped-invalidate": {
+        "num_cores": 2,
+        "private_l2": _BIG_PRIVATE_L2,
+        "protection": {"insecure_scoped_invalidate": True},
+    },
 }
 
 
@@ -149,7 +183,7 @@ def get_machine(name: str) -> SystemConfig:
     if name not in MACHINE_PRESETS:
         raise KeyError(f"unknown machine preset: {name!r} "
                        f"(known: {', '.join(machine_names())})")
-    return MACHINE_PRESETS[name]()
+    return machine_from_dict(MACHINE_PRESETS[name])
 
 
 def get_mix(name: str) -> MixProfile:

@@ -56,9 +56,19 @@ class TestEnvValidation:
         assert instructions_per_workload(5000) == 5000
         assert instructions_per_workload(default=1000) == 2500
 
-    def test_instructions_env_floor(self, monkeypatch):
+    def test_instructions_env_rejects_too_small(self, monkeypatch):
+        # A set-but-too-small value is a configuration mistake, not a
+        # request for the floor: it must fail like a non-integer does.
         monkeypatch.setenv("REPRO_INSTRUCTIONS", "10")
-        assert instructions_per_workload() == 500
+        with pytest.raises(ValueError,
+                           match="REPRO_INSTRUCTIONS must be at least 500"):
+            instructions_per_workload()
+
+    def test_jobs_env_rejects_zero(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "0")
+        with pytest.raises(ValueError,
+                           match="REPRO_JOBS must be at least 1"):
+            parallel_jobs()
 
     def test_instructions_env_rejects_non_integer(self, monkeypatch):
         monkeypatch.setenv("REPRO_INSTRUCTIONS", "lots")

@@ -1,0 +1,71 @@
+"""Acceptance: a preset exported to JSON re-runs to its golden snapshot.
+
+``get_machine("biglittle-muontrap")`` is exported with ``to_dict``, written
+to a JSON machine file, loaded back through the ``--machine-file`` code
+path, and simulated — and the result must reproduce the same golden
+snapshot (``stats_hetero-biglittle-muontrap.json``) that pins the
+in-memory preset.  This closes the loop on the declarative machine
+format: the file on disk *is* the machine.
+"""
+
+import json
+from pathlib import Path
+
+from repro import api
+from repro.__main__ import main as cli_main
+from repro.common.machine import save_machine
+from repro.sim.simulator import Simulator
+from repro.sim.system import build_system
+from repro.workloads.generator import generate_workload
+from repro.workloads.mixes import get_machine
+from repro.workloads.profiles import get_profile
+
+GOLDEN = Path(__file__).parent / "golden" \
+    / "stats_hetero-biglittle-muontrap.json"
+SEED = 1234
+INSTRUCTIONS = 400
+WARMUP_FRACTION = 0.25
+
+
+class TestMachineFileGolden:
+    def test_exported_machine_file_reproduces_the_golden_snapshot(
+            self, tmp_path):
+        path = save_machine(get_machine("biglittle-muontrap"),
+                            tmp_path / "biglittle-muontrap.json")
+        config = api.resolve_machine(str(path))  # the --machine-file path
+        assert config == get_machine("biglittle-muontrap")
+
+        profile = get_profile("mix-pointer-stream")
+        workload = generate_workload(profile, INSTRUCTIONS, seed=SEED)
+        system_config = config.with_cores(max(config.num_cores,
+                                              profile.num_threads, 1))
+        result = Simulator(build_system(system_config, seed=SEED)).run(
+            workload, collect_stats=True, warmup_fraction=WARMUP_FRACTION)
+
+        golden = json.loads(GOLDEN.read_text())
+        assert result.cycles == golden["cycles"]
+        assert result.instructions == golden["instructions"]
+        assert result.warmup_cycles == golden["warmup_cycles"]
+        assert result.mode == golden["mode"]
+        assert dict(sorted(result.stats.items())) == golden["stats"]
+
+    def test_cli_runs_a_machine_file(self, tmp_path, capsys, monkeypatch):
+        path = save_machine(get_machine("biglittle-muontrap"),
+                            tmp_path / "exported.json")
+        monkeypatch.setenv("REPRO_INSTRUCTIONS", "600")
+        assert cli_main(["run", "--suite", "mix-pointer-stream",
+                         "--machine-file", str(path),
+                         "--no-store", "--jobs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "exported" in out            # series labelled by file stem
+        assert "mix-pointer-stream:lbm" in out  # per-constituent table
+
+    def test_cli_reports_bad_machine_files_in_one_line(self, tmp_path,
+                                                       capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"num_cores": "many"}))
+        code = cli_main(["run", "--suite", "povray",
+                         "--machine-file", str(bad), "--no-store"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "bad.json" in err
