@@ -23,7 +23,17 @@ Usage::
 
     PYTHONPATH=src python benchmarks/bench_hotpath.py
     PYTHONPATH=src python benchmarks/bench_hotpath.py --check
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --check-telemetry
     PYTHONPATH=src python benchmarks/bench_hotpath.py --instructions 50000
+
+``--check-telemetry`` additionally asserts that no tracer is active (the
+whole run measures the telemetry-*disabled* path) and gates the
+zero-cost-when-disabled guarantee of :mod:`repro.telemetry`: a seed-pinned
+packed run per scheme executes under cProfile and its *deterministic call
+count* must stay within 2% of the checked-in baseline.  Call counts are
+bit-identical across runs and hosts, so the 2% gate cannot flake the way
+a wall-clock gate would on shared CI machines, while any per-op work
+accidentally added to the disabled path trips it at once.
 """
 
 from __future__ import annotations
@@ -37,7 +47,8 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.common.params import ProtectionMode, SystemConfig  # noqa: E402
+from repro.common.params import SystemConfig  # noqa: E402
+from repro.telemetry.tracer import active_tracer  # noqa: E402
 from repro.sim.simulator import Simulator  # noqa: E402
 from repro.sim.system import build_system  # noqa: E402
 from repro.workloads.generator import (  # noqa: E402
@@ -46,13 +57,14 @@ from repro.workloads.generator import (  # noqa: E402
 )
 from repro.workloads.profiles import get_profile  # noqa: E402
 
-#: The five schemes of the acceptance matrix (Figures 3 and 4).
+#: The five schemes of the acceptance matrix (Figures 3 and 4), by
+#: registry name (see ``python -m repro schemes``).
 SCHEMES = [
-    ProtectionMode.UNPROTECTED,
-    ProtectionMode.INSECURE_L0,
-    ProtectionMode.MUONTRAP,
-    ProtectionMode.INVISISPEC_SPECTRE,
-    ProtectionMode.STT_SPECTRE,
+    "unprotected",
+    "insecure-l0",
+    "muontrap",
+    "invisispec-spectre",
+    "stt-spectre",
 ]
 
 DEFAULT_BENCHMARK = "mcf"
@@ -60,9 +72,16 @@ DEFAULT_INSTRUCTIONS = 200_000
 DEFAULT_SEED = 1234
 #: Allowed throughput regression before --check fails.
 REGRESSION_TOLERANCE = 0.20
+#: Allowed disabled-telemetry overhead before --check-telemetry fails.
+#: Tracing off must be (near) free: the packed hot loop takes one
+#: module-level guard check per call and the memory system none at all.
+TELEMETRY_TOLERANCE = 0.02
+#: Workload of the telemetry gate.  Small: it runs under cProfile, whose
+#: deterministic call counts (not noisy wall-clock) are the gated metric.
+TELEMETRY_INSTRUCTIONS = 20_000
 
 
-def _run_packed(profile, mode: ProtectionMode, instructions: int,
+def _run_packed(profile, mode: str, instructions: int,
                 seed: int) -> tuple:
     """One production-path cell: cached generation + packed engine."""
     config = SystemConfig(mode=mode).with_cores(max(1, profile.num_threads))
@@ -73,7 +92,7 @@ def _run_packed(profile, mode: ProtectionMode, instructions: int,
     return time.perf_counter() - started, result
 
 
-def _run_legacy(profile, mode: ProtectionMode, instructions: int,
+def _run_legacy(profile, mode: str, instructions: int,
                 seed: int) -> tuple:
     """One pre-overhaul-shaped cell: fresh generation + per-op engine."""
     config = SystemConfig(mode=mode).with_cores(max(1, profile.num_threads))
@@ -108,15 +127,15 @@ def run_benchmark(benchmark: str, instructions: int, seed: int,
             if (legacy_result.cycles, legacy_result.instructions) != (
                     packed_result.cycles, packed_result.instructions):
                 raise AssertionError(
-                    f"engine divergence under {mode.value}: "
+                    f"engine divergence under {mode}: "
                     f"packed {packed_result.cycles} cycles vs "
                     f"legacy {legacy_result.cycles}")
             entry["legacy_wall_seconds"] = round(legacy_wall, 4)
             entry["legacy_ops_per_sec"] = round(executed / legacy_wall, 1)
             entry["speedup"] = round(legacy_wall / packed_wall, 3)
             total_legacy += legacy_wall
-        schemes[mode.value] = entry
-        line = (f"  {mode.value:20s} {entry['ops_per_sec']:>10.0f} ops/s"
+        schemes[mode] = entry
+        line = (f"  {mode:20s} {entry['ops_per_sec']:>10.0f} ops/s"
                 f"  ({packed_wall:.2f}s)")
         if not skip_legacy:
             line += (f"   legacy {entry['legacy_ops_per_sec']:>9.0f} ops/s"
@@ -176,6 +195,69 @@ def check_against_baseline(payload: dict, baseline_path: Path) -> int:
     return 0
 
 
+def measure_disabled_call_counts(benchmark: str, seed: int) -> dict:
+    """Interpreter work of one packed run per scheme, tracing disabled.
+
+    Wall-clock is too noisy for a 2% gate (shared CI hosts swing more than
+    that between *identical* runs), so the zero-cost-when-disabled check
+    gates on cProfile's deterministic call counts instead: the simulation
+    is seed-pinned, so the count is bit-identical across runs and hosts,
+    and any accidental per-op or per-access work added to the disabled
+    telemetry path shows up as a call-count increase immediately.
+    """
+    import cProfile
+
+    profile = get_profile(benchmark)
+    counts = {}
+    for mode in SCHEMES:
+        config = SystemConfig(mode=mode).with_cores(
+            max(1, profile.num_threads))
+        workload = generate_workload(profile, TELEMETRY_INSTRUCTIONS,
+                                     seed=seed)
+        simulator = Simulator(build_system(config, seed=seed),
+                              use_packed=True)
+        profiler = cProfile.Profile()
+        profiler.enable()
+        simulator.run(workload, warmup_fraction=0.35)
+        profiler.disable()
+        counts[mode] = sum(entry.callcount
+                           for entry in profiler.getstats())
+    return counts
+
+
+def check_telemetry_overhead(payload: dict, baseline_path: Path) -> int:
+    """The <2% zero-cost-when-disabled gate on the telemetry layer."""
+    baseline = json.loads(baseline_path.read_text())
+    expected = baseline.get("telemetry_call_counts")
+    if not expected:
+        print("FAIL: baseline has no telemetry_call_counts "
+              "(regenerate benchmarks/baseline_hotpath.json)",
+              file=sys.stderr)
+        return 1
+    measured = payload["telemetry_call_counts"]
+    failures = []
+    for mode, baseline_count in sorted(expected.items()):
+        current = measured.get(mode)
+        if current is None:
+            continue
+        ceiling = baseline_count * (1.0 + TELEMETRY_TOLERANCE)
+        overhead = current / baseline_count - 1.0
+        print(f"check-telemetry: {mode:20s} {current:>12,d} calls "
+              f"(baseline {baseline_count:,d}, {overhead:+.2%})")
+        if current > ceiling:
+            failures.append(
+                f"{mode}: disabled-telemetry run makes "
+                f"{overhead:.2%} more interpreter calls than the "
+                f"baseline (ceiling {TELEMETRY_TOLERANCE:.0%})")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(f"check-telemetry: OK (<{TELEMETRY_TOLERANCE:.0%} overhead "
+          "with tracing disabled)")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument("--benchmark", default=DEFAULT_BENCHMARK)
@@ -188,22 +270,39 @@ def main(argv=None) -> int:
                         help="fail when throughput regresses more than "
                              f"{REGRESSION_TOLERANCE:.0%} against the "
                              "baseline")
+    parser.add_argument("--check-telemetry", action="store_true",
+                        help="assert tracing is disabled and fail when the "
+                             "telemetry hook points cost more than "
+                             f"{TELEMETRY_TOLERANCE:.0%} vs the baseline")
     parser.add_argument("--baseline",
                         default=str(Path(__file__).parent
                                     / "baseline_hotpath.json"))
     parser.add_argument("--output", default="BENCH_hotpath.json")
     args = parser.parse_args(argv)
 
+    if args.check_telemetry and active_tracer() is not None:
+        print("FAIL: a tracer is active; the telemetry gate measures the "
+              "disabled path", file=sys.stderr)
+        return 1
+
     print(f"hot-path benchmark: {args.benchmark}, "
           f"{args.instructions} instructions, seed {args.seed}")
     payload = run_benchmark(args.benchmark, args.instructions, args.seed,
                             skip_legacy=args.no_legacy)
+    payload["telemetry_disabled"] = active_tracer() is None
+    if args.check_telemetry:
+        payload["telemetry_call_counts"] = measure_disabled_call_counts(
+            args.benchmark, args.seed)
     Path(args.output).write_text(json.dumps(payload, indent=2,
                                             sort_keys=True) + "\n")
     print(f"wrote {args.output}")
+    status = 0
     if args.check:
-        return check_against_baseline(payload, Path(args.baseline))
-    return 0
+        status = check_against_baseline(payload, Path(args.baseline))
+    if args.check_telemetry:
+        status = max(status, check_telemetry_overhead(payload,
+                                                      Path(args.baseline)))
+    return status
 
 
 if __name__ == "__main__":

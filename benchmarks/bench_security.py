@@ -2,7 +2,6 @@
 
 from conftest import run_once
 
-from repro.common.params import ProtectionMode
 from repro.experiments.security import run_security_evaluation
 
 
@@ -20,9 +19,9 @@ def test_security_other_schemes_leave_channels_open(benchmark):
     def run():
         return {
             "icache": InstructionCacheAttack(
-                mode=ProtectionMode.INVISISPEC_FUTURE).run(),
+                mode="invisispec-future").run(),
             "prefetcher": PrefetcherAttack(
-                mode=ProtectionMode.INVISISPEC_FUTURE).run(),
+                mode="invisispec-future").run(),
         }
 
     outcomes = run_once(benchmark, run)

@@ -1,0 +1,115 @@
+"""Trace viewer: summarise a telemetry trace without leaving the terminal.
+
+Reads a JSONL event trace — either from a file written by
+``python -m repro trace`` / ``api.simulate(trace=...)`` or by running a
+short instrumented simulation on the spot — and prints the three views a
+trace question usually starts with:
+
+* per-(category, name) event counts,
+* a cycle timeline (events per fixed-width cycle bucket, as a bar chart),
+* per-unit cache hit rates, cross-checked against what the counters say.
+
+For the interactive deep dive, write a Chrome trace instead and open it at
+https://ui.perfetto.dev:
+
+    PYTHONPATH=src python -m repro trace mcf --chrome mcf.chrome.json
+
+Run with:  python examples/trace_viewer.py [trace.jsonl]
+           python examples/trace_viewer.py --benchmark mcf --scheme muontrap
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import Counter
+from typing import Any, Dict, Iterable, List
+
+
+def load_events(path: str) -> List[Dict[str, Any]]:
+    with open(path, "r", encoding="utf-8") as handle:
+        return [json.loads(line) for line in handle if line.strip()]
+
+
+def simulate_events(benchmark: str, scheme: str, instructions: int,
+                    seed: int) -> List[Dict[str, Any]]:
+    from repro import api
+    outcome = api.simulate(benchmark, scheme, seed=seed,
+                           instructions=instructions, warmup_fraction=0.0,
+                           trace=True)
+    return [event.as_dict() for event in outcome.tracer.events]
+
+
+def print_counts(events: Iterable[Dict[str, Any]]) -> None:
+    counts = Counter((event["cat"], event["name"]) for event in events)
+    print(f"{'category':<10} {'event':<28} {'count':>8}")
+    for (category, name), count in sorted(counts.items()):
+        print(f"{category:<10} {name:<28} {count:>8}")
+
+
+def print_timeline(events: List[Dict[str, Any]], buckets: int = 20) -> None:
+    cycles = [event["cycle"] for event in events]
+    if not cycles:
+        print("no events")
+        return
+    span = max(cycles) + 1
+    width = max(1, -(-span // buckets))          # ceil division
+    histogram = Counter(cycle // width for cycle in cycles)
+    peak = max(histogram.values())
+    print(f"events per {width}-cycle bucket:")
+    for bucket in range(buckets):
+        count = histogram.get(bucket, 0)
+        bar = "#" * max(1 if count else 0, round(40 * count / peak))
+        print(f"  {bucket * width:>8} {bar:<40} {count}")
+
+
+def print_hit_rates(events: Iterable[Dict[str, Any]]) -> None:
+    hits: Counter = Counter()
+    misses: Counter = Counter()
+    for event in events:
+        if event["cat"] != "cache":
+            continue
+        unit = (event.get("unit", "?"), event.get("core"))
+        if event["name"] == "hit":
+            hits[unit] += 1
+        elif event["name"] == "miss":
+            misses[unit] += 1
+    print(f"{'unit':<14} {'hits':>8} {'misses':>8} {'hit rate':>9}")
+    for unit in sorted(set(hits) | set(misses), key=str):
+        hit, miss = hits[unit], misses[unit]
+        total = hit + miss
+        label = unit[0] if unit[1] is None else f"core{unit[1]}.{unit[0]}"
+        rate = f"{hit / total:.1%}" if total else "-"
+        print(f"{label:<14} {hit:>8} {miss:>8} {rate:>9}")
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", nargs="?", help="JSONL trace file to read")
+    parser.add_argument("--benchmark", default="mcf",
+                        help="simulate this benchmark when no file is given")
+    parser.add_argument("--scheme", default="muontrap")
+    parser.add_argument("--instructions", type=int, default=2000)
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args(argv)
+
+    if args.trace:
+        events = load_events(args.trace)
+        print(f"{args.trace}: {len(events)} events")
+    else:
+        events = simulate_events(args.benchmark, args.scheme,
+                                 args.instructions, args.seed)
+        print(f"{args.benchmark} under {args.scheme} "
+              f"({args.instructions} instructions): {len(events)} events")
+    print()
+    print_counts(events)
+    print()
+    print_timeline(events)
+    print()
+    print_hit_rates(events)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

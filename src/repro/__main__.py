@@ -11,7 +11,10 @@ Subcommands:
 * ``machines`` — list the heterogeneous machine presets;
 * ``schemes`` — list the registered protection schemes and their
   capability flags (including schemes registered at runtime through
-  :func:`repro.schemes.register_scheme`).
+  :func:`repro.schemes.register_scheme`);
+* ``trace``  — run one benchmark instrumented and write its cycle-level
+  event trace (JSONL, optionally Chrome/Perfetto JSON) and periodic
+  metrics snapshots (CSV).
 
 Examples::
 
@@ -21,6 +24,8 @@ Examples::
         --machine asym-protect
     python -m repro run --suite mixes --machine-file my-machine.json
     python -m repro report --suite spec_int --mode muontrap --format csv
+    python -m repro trace mcf --mode muontrap --chrome mcf.chrome.json
+    python -m repro trace mcf --metrics-every 1000 --metrics-out mcf.csv
     python -m repro clean
 
 Everything routes through the public facade (:mod:`repro.api`): ``--mode``
@@ -29,7 +34,9 @@ accepts any registered scheme name, ``--machine`` any preset, and
 (:mod:`repro.common.machine`).
 
 Environment: ``REPRO_INSTRUCTIONS`` (instructions per workload),
-``REPRO_JOBS`` (worker count), ``REPRO_STORE`` (result-store directory).
+``REPRO_JOBS`` (worker count), ``REPRO_STORE`` (result-store directory),
+``REPRO_LOG`` (structured-log level, e.g. ``INFO``), ``REPRO_PROGRESS``
+(force the live progress line on/off).
 """
 
 from __future__ import annotations
@@ -51,6 +58,8 @@ from repro.schemes import (
     figure_series_schemes,
     get_scheme,
 )
+from repro.telemetry.log import configure as configure_logging
+from repro.telemetry.phases import PHASES, phase
 from repro.workloads.mixes import get_machine, machine_names
 
 DEFAULT_STORE = ".repro-results"
@@ -166,7 +175,9 @@ def _run_profiled(campaign: Campaign):
     """Run the campaign under cProfile and print the top-25 hot spots.
 
     Profiling forces ``jobs=1``: the interesting work otherwise happens in
-    forked pool workers the profiler cannot see.
+    forked pool workers the profiler cannot see.  (This also means the
+    phase timers printed afterwards account for every cell — phases timed
+    inside pool workers never reach this process's timers.)
     """
     import cProfile
     import pstats
@@ -185,6 +196,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     _normalise_matrix_defaults(args)
     campaign = _build_campaign(args)
     if args.profile:
+        PHASES.reset()
         result = _run_profiled(campaign)
     else:
         result = campaign.run()
@@ -192,14 +204,15 @@ def cmd_run(args: argparse.Namespace) -> int:
     print(f"benchmarks: {', '.join(campaign.benchmarks)}")
     print(f"schemes:    {', '.join(campaign.configs)} "
           f"(baseline: {campaign.baseline_label})")
-    print(f"cells:      {stats.total} "
-          f"({stats.executed} executed, {stats.store_hits} from store, "
-          f"{stats.memory_hits} from memory; "
-          f"{stats.cached_fraction:.0%} cached)")
+    print(f"cells:      {stats.total} ({stats.summary()})")
     if campaign.store is not None:
         print(f"store:      {campaign.store.root}")
     print()
-    print(_render(campaign, result, args.format))
+    with phase("report"):
+        rendered = _render(campaign, result, args.format)
+    print(rendered)
+    if args.profile:
+        print(f"\nphase timers:\n{PHASES.report()}", file=sys.stderr)
     return 0
 
 
@@ -235,6 +248,39 @@ def cmd_schemes(args: argparse.Namespace) -> int:
               f"{', '.join(flags) if flags else 'no capability flags'}")
         if spec.description:
             print(f"    {spec.description}")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Run one benchmark instrumented and write its telemetry artefacts."""
+    trace_path = args.trace or f"{args.benchmark}-{args.mode}.trace.jsonl"
+    outcome = api.simulate(
+        args.benchmark, args.mode, seed=args.seed,
+        instructions=args.instructions, warmup_fraction=args.warmup,
+        collect_stats=True, trace=trace_path, chrome_trace=args.chrome,
+        metrics_every=args.metrics_every)
+    tracer = outcome.tracer
+    print(f"benchmark:  {outcome.benchmark}")
+    print(f"machine:    {outcome.label} (seed {outcome.seed})")
+    print(f"cycles:     {outcome.cycles} ({outcome.instructions} "
+          f"instructions, IPC {outcome.ipc:.2f})")
+    print(f"events:     {len(tracer)}")
+    for (category, name), count in sorted(tracer.counts().items()):
+        print(f"    {category:<10s} {name:<28s} {count:>8d}")
+    print(f"trace:      {outcome.trace_path} (JSONL, one event per line)")
+    if outcome.chrome_path is not None:
+        print(f"chrome:     {outcome.chrome_path} "
+              f"(open at https://ui.perfetto.dev)")
+    if outcome.timeseries is not None:
+        samples = len(outcome.timeseries)
+        columns = len(outcome.timeseries.columns)
+        if args.metrics_out:
+            outcome.timeseries.to_csv(args.metrics_out)
+            print(f"metrics:    {args.metrics_out} "
+                  f"({samples} samples × {columns} columns)")
+        else:
+            print(f"metrics:    {samples} samples × {columns} columns "
+                  f"collected (write with --metrics-out FILE)")
     return 0
 
 
@@ -294,10 +340,47 @@ def build_parser() -> argparse.ArgumentParser:
         "schemes", help="list the registered protection schemes and "
                         "their capability flags")
     schemes_parser.set_defaults(func=cmd_schemes)
+
+    trace_parser = subparsers.add_parser(
+        "trace", help="run one benchmark instrumented and write its "
+                      "cycle-level event trace")
+    trace_parser.add_argument(
+        "benchmark", help="benchmark or mix name (see 'suites')")
+    trace_parser.add_argument(
+        "--mode", default="muontrap",
+        help="scheme, machine preset or machine JSON to run under "
+             "(default: %(default)s)")
+    trace_parser.add_argument(
+        "--instructions", type=int, default=None,
+        help="instructions to simulate "
+             "(default: REPRO_INSTRUCTIONS or 8000)")
+    trace_parser.add_argument("--seed", type=int, default=DEFAULT_SEED,
+                              help="workload seed (default: %(default)s)")
+    trace_parser.add_argument(
+        "--warmup", type=float, default=0.0,
+        help="warm-up fraction excluded from statistics "
+             "(default: %(default)s — traces usually want the cold start)")
+    trace_parser.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="JSONL output path "
+             "(default: <benchmark>-<mode>.trace.jsonl)")
+    trace_parser.add_argument(
+        "--chrome", default=None, metavar="FILE",
+        help="also write Chrome trace-event JSON, viewable at "
+             "https://ui.perfetto.dev")
+    trace_parser.add_argument(
+        "--metrics-every", type=int, default=None, metavar="N",
+        help="snapshot the statistics tree every N cycles")
+    trace_parser.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help="write the metrics time series as CSV "
+             "(requires --metrics-every)")
+    trace_parser.set_defaults(func=cmd_trace)
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    configure_logging()
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)

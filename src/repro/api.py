@@ -61,7 +61,11 @@ from repro.harness.report import Report
 from repro.harness.store import ResultStore
 from repro.schemes import get_scheme, is_registered
 from repro.sim.runner import DEFAULT_WARMUP_FRACTION, instructions_per_workload
-from repro.sim.simulator import SimulationResult
+from repro.sim.simulator import SimulationResult, Simulator
+from repro.sim.system import build_system
+from repro.telemetry.metrics import MetricsSampler, TimeSeries
+from repro.telemetry.tracer import Tracer, tracing
+from repro.workloads.generator import generate_workload
 from repro.workloads.profiles import get_profile
 
 #: Anything that resolves to a machine configuration.
@@ -156,6 +160,12 @@ class SimulationOutcome:
     seed: int
     instructions_requested: int
     result: SimulationResult
+    #: Telemetry attachments — populated only by instrumented runs
+    #: (``simulate(trace=..., chrome_trace=..., metrics_every=...)``).
+    tracer: Optional[Tracer] = None
+    trace_path: Optional[Path] = None
+    chrome_path: Optional[Path] = None
+    timeseries: Optional[TimeSeries] = None
 
     @property
     def scheme(self) -> str:
@@ -277,7 +287,10 @@ def simulate(workload: WorkloadLike,
              collect_stats: bool = False,
              label: Optional[str] = None,
              store: Optional[ResultStore] = None,
-             cache: Optional[Dict[str, SimulationResult]] = None
+             cache: Optional[Dict[str, SimulationResult]] = None,
+             trace: Union[bool, str, os.PathLike, Tracer, None] = None,
+             chrome_trace: Union[str, os.PathLike, None] = None,
+             metrics_every: Optional[int] = None
              ) -> SimulationOutcome:
     """Run one workload on one machine and return a typed outcome.
 
@@ -288,6 +301,15 @@ def simulate(workload: WorkloadLike,
     default; the machine is widened automatically when the workload needs
     more cores.  ``store`` and ``cache`` opt into the campaign layer's
     persistent / in-memory result reuse.
+
+    The telemetry options run the cell *instrumented*: ``trace=True``
+    collects cycle-level events on the returned ``outcome.tracer``, a path
+    additionally writes them as JSONL, a :class:`Tracer` collects into
+    your own instance (preserving its category filter); ``chrome_trace``
+    writes a Perfetto-loadable Chrome trace; ``metrics_every=N`` snapshots
+    the statistics tree every N cycles onto ``outcome.timeseries``.
+    Instrumented runs always simulate inline — caches are neither
+    consulted nor written, because a cached result has no event stream.
     """
     profile = resolve_workload(workload)
     config = resolve_machine(machine)
@@ -299,11 +321,61 @@ def simulate(workload: WorkloadLike,
                    instructions=instructions_per_workload(instructions),
                    seed=seed, warmup_fraction=warmup_fraction,
                    collect_stats=collect_stats)
+    instrumented = ((trace is not None and trace is not False)
+                    or chrome_trace is not None or metrics_every is not None)
+    if instrumented:
+        return _simulate_instrumented(spec, trace=trace,
+                                      chrome_trace=chrome_trace,
+                                      metrics_every=metrics_every)
     results = execute_cells([spec], jobs=1, store=store, cache=cache)
     return SimulationOutcome(
         benchmark=profile.name, label=label, machine=config, seed=seed,
         instructions_requested=spec.instructions,
         result=results[spec.key()])
+
+
+def _simulate_instrumented(spec: RunSpec, *,
+                           trace: Union[bool, str, os.PathLike, Tracer, None],
+                           chrome_trace: Union[str, os.PathLike, None],
+                           metrics_every: Optional[int]
+                           ) -> SimulationOutcome:
+    """One cell, run inline with telemetry attached.
+
+    Mirrors :func:`repro.harness.campaign.run_cell` exactly (same trace
+    generation, core widening and simulator construction), so an
+    instrumented run's cycles and statistics are bit-identical to the
+    cached path's.
+    """
+    workload = generate_workload(spec.profile, spec.instructions,
+                                 seed=spec.seed)
+    cores_needed = max(1, spec.profile.num_threads)
+    system_config = spec.config.with_cores(max(spec.config.num_cores,
+                                               cores_needed))
+    system = build_system(system_config, seed=spec.seed)
+    tracer: Optional[Tracer] = None
+    if (trace is not None and trace is not False) or chrome_trace is not None:
+        tracer = trace if isinstance(trace, Tracer) else Tracer()
+        tracer.attach(system)
+    sampler = (MetricsSampler(metrics_every)
+               if metrics_every is not None else None)
+    simulator = Simulator(system, sampler=sampler)
+    with tracing(tracer):
+        result = simulator.run(workload, collect_stats=spec.collect_stats,
+                               warmup_fraction=spec.warmup_fraction)
+    trace_path: Optional[Path] = None
+    if tracer is not None and isinstance(trace, (str, os.PathLike)):
+        trace_path = Path(trace)
+        tracer.write_jsonl(trace_path)
+    chrome_path: Optional[Path] = None
+    if tracer is not None and chrome_trace is not None:
+        chrome_path = Path(chrome_trace)
+        tracer.write_chrome(chrome_path)
+    return SimulationOutcome(
+        benchmark=spec.benchmark, label=spec.label, machine=spec.config,
+        seed=spec.seed, instructions_requested=spec.instructions,
+        result=result, tracer=tracer, trace_path=trace_path,
+        chrome_path=chrome_path,
+        timeseries=sampler.timeseries if sampler is not None else None)
 
 
 def _entry_config(entry: Any, base: SystemConfig) -> SystemConfig:

@@ -35,8 +35,8 @@ from repro.attacks.framework import (
     CrossCoreAttackEnvironment,
     classify_probe,
 )
-from repro.common.params import (ProtectionMode, SchemeLike,
-                                 SystemConfig, scheme_name)
+from repro.common.params import (SchemeLike, SystemConfig,
+                                 scheme_name)
 
 
 def classify_contention(latencies: Dict[int, int]) -> Tuple[Optional[int], int]:
@@ -50,9 +50,9 @@ def classify_contention(latencies: Dict[int, int]) -> Tuple[Optional[int], int]:
     return recovered, margin
 
 
-def _scheme_plan(mode: ProtectionMode, num_cores: int,
-                 victim_mode: Optional[ProtectionMode],
-                 attacker_mode: Optional[ProtectionMode]):
+def _scheme_plan(mode: SchemeLike, num_cores: int,
+                 victim_mode: Optional[SchemeLike],
+                 attacker_mode: Optional[SchemeLike]):
     """Resolve the per-core scheme assignment and its report label.
 
     With neither override set, the machine is homogeneous under ``mode``
@@ -75,7 +75,7 @@ class CrossCoreReloadAttack:
 
     name = "cross-core-reload"
 
-    def __init__(self, mode: SchemeLike = ProtectionMode.UNPROTECTED,
+    def __init__(self, mode: SchemeLike = "unprotected",
                  secret: int = 3, num_secret_values: int = 8,
                  num_cores: int = 2, seed: int = 0,
                  config: Optional[SystemConfig] = None,
@@ -116,7 +116,7 @@ class CrossCoreLLCPrimeProbeAttack:
 
     name = "cross-core-llc-prime-probe"
 
-    def __init__(self, mode: SchemeLike = ProtectionMode.UNPROTECTED,
+    def __init__(self, mode: SchemeLike = "unprotected",
                  secret: int = 3, num_secret_values: int = 4,
                  num_cores: int = 2, seed: int = 0,
                  config: Optional[SystemConfig] = None,
@@ -198,7 +198,7 @@ class CrossCoreLLCPrimeProbeAttack:
 CROSS_CORE_ATTACKS = [CrossCoreReloadAttack, CrossCoreLLCPrimeProbeAttack]
 
 
-def run_cross_core_suite(modes: Sequence[ProtectionMode],
+def run_cross_core_suite(modes: Sequence[SchemeLike],
                          seeds: Sequence[int] = (0,),
                          num_cores: int = 2,
                          config: Optional[SystemConfig] = None
@@ -220,8 +220,8 @@ def run_cross_core_suite(modes: Sequence[ProtectionMode],
     return outcomes
 
 
-def run_cross_scheme_matrix(victim_modes: Sequence[ProtectionMode],
-                            attacker_modes: Sequence[ProtectionMode],
+def run_cross_scheme_matrix(victim_modes: Sequence[SchemeLike],
+                            attacker_modes: Sequence[SchemeLike],
                             seeds: Sequence[int] = (0,),
                             num_cores: int = 2,
                             config: Optional[SystemConfig] = None

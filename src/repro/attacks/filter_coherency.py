@@ -26,7 +26,7 @@ from repro.attacks.framework import (
     classify_probe,
     VICTIM_SECRET_ADDRESS,
 )
-from repro.common.params import (ProtectionMode, SchemeLike,
+from repro.common.params import (SchemeLike,
                                  SystemConfig, scheme_name)
 
 
@@ -35,7 +35,7 @@ class FilterCacheCoherencyAttack:
 
     name = "filter-cache-coherency"
 
-    def __init__(self, mode: SchemeLike = ProtectionMode.MUONTRAP,
+    def __init__(self, mode: SchemeLike = "muontrap",
                  secret: int = 1, num_secret_values: int = 4,
                  config: Optional[SystemConfig] = None) -> None:
         self.environment = AttackEnvironment(

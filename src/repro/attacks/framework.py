@@ -24,8 +24,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.common.params import (ProtectionMode, SchemeLike,
-                                 SystemConfig, scheme_name)
+from repro.common.params import (SchemeLike, SystemConfig,
+                                 scheme_name)
 from repro.cpu.instructions import MicroOp, OpKind, WrongPathAccess
 from repro.cpu.interface import MemorySystem
 from repro.memory.page_table import PageTableManager
@@ -76,7 +76,7 @@ class AttackEnvironment:
     """A memory system plus the attacker/victim processes and shared pages."""
 
     def __init__(self, config: Optional[SystemConfig] = None,
-                 mode: SchemeLike = ProtectionMode.UNPROTECTED,
+                 mode: SchemeLike = "unprotected",
                  num_cores: int = 1, secret: int = 3,
                  num_secret_values: int = 8,
                  shared_writable: bool = True,
@@ -244,11 +244,11 @@ class CrossCoreAttackEnvironment:
     _SYNC_REG = 60
     _DEST_REG = 61
 
-    def __init__(self, mode: SchemeLike = ProtectionMode.UNPROTECTED,
+    def __init__(self, mode: SchemeLike = "unprotected",
                  num_cores: int = 2, secret: int = 3,
                  num_secret_values: int = 8, seed: int = 0,
                  config: Optional[SystemConfig] = None,
-                 core_modes: Optional[Sequence[ProtectionMode]] = None
+                 core_modes: Optional[Sequence[SchemeLike]] = None
                  ) -> None:
         base = config or SystemConfig()
         if core_modes is not None:
@@ -433,7 +433,7 @@ def classify_probe(latencies: Dict[int, int]) -> Tuple[Optional[int], int]:
     return ordered[0][0], margin
 
 
-def run_attack_for_modes(attack_factory, modes: List[ProtectionMode],
+def run_attack_for_modes(attack_factory, modes: Sequence[SchemeLike],
                          **kwargs) -> Dict[str, AttackOutcome]:
     """Run one attack against several protection modes (experiment helper)."""
     outcomes: Dict[str, AttackOutcome] = {}

@@ -24,7 +24,7 @@ from repro.attacks.framework import (
     classify_probe,
     VICTIM_SECRET_ADDRESS,
 )
-from repro.common.params import (ProtectionMode, SchemeLike,
+from repro.common.params import (SchemeLike,
                                  SystemConfig, scheme_name)
 
 
@@ -33,7 +33,7 @@ class InclusionPolicyAttack:
 
     name = "inclusion-policy"
 
-    def __init__(self, mode: SchemeLike = ProtectionMode.UNPROTECTED,
+    def __init__(self, mode: SchemeLike = "unprotected",
                  secret: int = 5, num_secret_values: int = 8,
                  config: Optional[SystemConfig] = None) -> None:
         base = config or SystemConfig()

@@ -20,7 +20,7 @@ from repro.attacks.framework import (
     classify_probe,
     VICTIM_SECRET_ADDRESS,
 )
-from repro.common.params import (ProtectionMode, SchemeLike,
+from repro.common.params import (SchemeLike,
                                  SystemConfig, scheme_name)
 
 
@@ -29,7 +29,7 @@ class InstructionCacheAttack:
 
     name = "instruction-cache"
 
-    def __init__(self, mode: SchemeLike = ProtectionMode.UNPROTECTED,
+    def __init__(self, mode: SchemeLike = "unprotected",
                  secret: int = 4, num_secret_values: int = 8,
                  config: Optional[SystemConfig] = None) -> None:
         self.environment = AttackEnvironment(

@@ -22,7 +22,7 @@ from repro.attacks.framework import (
     LINE_SIZE,
     VICTIM_SECRET_ADDRESS,
 )
-from repro.common.params import (ProtectionMode, SchemeLike,
+from repro.common.params import (SchemeLike,
                                  SystemConfig, scheme_name)
 
 
@@ -40,7 +40,7 @@ class PrefetcherAttack:
     #: covering where the stream prefetcher runs ahead of the last access.
     PROBE_WINDOW = range(TRAIN_LENGTH, TRAIN_LENGTH + 10)
 
-    def __init__(self, mode: SchemeLike = ProtectionMode.UNPROTECTED,
+    def __init__(self, mode: SchemeLike = "unprotected",
                  secret: int = 2, num_secret_values: int = 4,
                  config: Optional[SystemConfig] = None) -> None:
         # Each candidate value gets its own 4 KiB region of the shared

@@ -25,7 +25,7 @@ from repro.attacks.framework import (
     classify_probe,
     VICTIM_SECRET_ADDRESS,
 )
-from repro.common.params import (ProtectionMode, SchemeLike,
+from repro.common.params import (SchemeLike,
                                  SystemConfig, scheme_name)
 
 
@@ -34,7 +34,7 @@ class SharedDataCoherenceAttack:
 
     name = "shared-data-coherence"
 
-    def __init__(self, mode: SchemeLike = ProtectionMode.UNPROTECTED,
+    def __init__(self, mode: SchemeLike = "unprotected",
                  secret: int = 2, num_secret_values: int = 4,
                  config: Optional[SystemConfig] = None) -> None:
         self.environment = AttackEnvironment(

@@ -23,7 +23,7 @@ from repro.attacks.framework import (
     classify_probe,
     VICTIM_SECRET_ADDRESS,
 )
-from repro.common.params import (ProtectionMode, SchemeLike,
+from repro.common.params import (SchemeLike,
                                  SystemConfig, scheme_name)
 
 
@@ -32,7 +32,7 @@ class SpectrePrimeProbeAttack:
 
     name = "spectre-prime-probe"
 
-    def __init__(self, mode: SchemeLike = ProtectionMode.UNPROTECTED,
+    def __init__(self, mode: SchemeLike = "unprotected",
                  secret: int = 3, num_secret_values: int = 8,
                  config: Optional[SystemConfig] = None) -> None:
         self.environment = AttackEnvironment(

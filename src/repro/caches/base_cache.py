@@ -97,6 +97,53 @@ class SetAssociativeCache:
     def record_miss(self) -> None:
         self._misses.increment()
 
+    # -- observability -------------------------------------------------------
+    def attach_tracer(self, tracer, unit: str,
+                      core: Optional[int] = None) -> None:
+        """Emit trace events for this cache's hits/misses/fills/evictions.
+
+        The wrappers are *instance* attributes shadowing the class methods,
+        so the class — and every untraced instance — keeps executing the
+        plain methods with no guard at all (the zero-cost-when-disabled
+        contract of :mod:`repro.telemetry`).  Hit/miss events are stamped
+        with the tracer's cycle cursor; fills and evictions carry the
+        fill's own timestamp.
+        """
+        emit = tracer.emit
+        inner_hit = self.record_hit
+        inner_miss = self.record_miss
+        inner_fill = self.fill
+        inner_invalidate = self.invalidate
+
+        def record_hit() -> None:
+            inner_hit()
+            emit("cache", "hit", core=core, unit=unit)
+
+        def record_miss() -> None:
+            inner_miss()
+            emit("cache", "miss", core=core, unit=unit)
+
+        def fill(address, state, now=0, *args, **kwargs):
+            line, victim = inner_fill(address, state, now, *args, **kwargs)
+            emit("cache", "fill", cycle=now, core=core, address=line.address,
+                 unit=unit, state=state.name)
+            if victim is not None:
+                emit("cache", "evict", cycle=now, core=core,
+                     address=victim.address, unit=unit, dirty=victim.dirty)
+            return line, victim
+
+        def invalidate(address):
+            present = inner_invalidate(address)
+            if present:
+                emit("cache", "invalidate", core=core,
+                     address=self.line_address(address), unit=unit)
+            return present
+
+        self.record_hit = record_hit
+        self.record_miss = record_miss
+        self.fill = fill
+        self.invalidate = invalidate
+
     def fill(self, address: int, state: CoherenceState, now: int = 0,
              dirty: bool = False, prefetched: bool = False,
              ready_at: int = 0,

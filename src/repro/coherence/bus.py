@@ -248,6 +248,74 @@ class CoherenceBus:
                 listener(line_address)
         return True
 
+    # -- observability ---------------------------------------------------------
+    def attach_tracer(self, tracer) -> None:
+        """Emit coherence trace events (snoops, NACKs, downgrades,
+        invalidations, filter-invalidate broadcasts) from this bus.
+
+        Instance-attribute wrappers shadow the class methods, so an
+        untraced bus pays nothing (the zero-cost-when-disabled contract of
+        :mod:`repro.telemetry`).  Registered filter-invalidation listeners
+        are re-wrapped in place: they were bound before tracing was
+        attached, so the per-filter install-site wrappers never see
+        broadcast-path invalidations.  Events are stamped with the
+        tracer's cycle cursor (the bus methods carry no timestamp).
+        """
+        emit = tracer.emit
+        inner_snoop = self.snoop
+        inner_nack = self.record_nack
+        inner_downgrade = self.downgrade_core
+        inner_broadcast = self.broadcast_filter_invalidate
+
+        def snoop(requester: int, line_address: int) -> SnoopResult:
+            result = inner_snoop(requester, line_address)
+            emit("coherence", "snoop", core=requester, address=line_address,
+                 dirty_owner=result.dirty_owner,
+                 exclusive_owner=result.exclusive_owner,
+                 sharers=len(result.sharers))
+            return result
+
+        def record_nack() -> None:
+            inner_nack()
+            emit("coherence", "nack")
+
+        def downgrade_core(core_id: int, line_address: int,
+                           to_state: CoherenceState = S) -> int:
+            touched = inner_downgrade(core_id, line_address, to_state)
+            if touched:
+                emit("coherence",
+                     "invalidate" if to_state is I else "downgrade",
+                     core=core_id, address=line_address,
+                     state=to_state.name, copies=touched)
+            return touched
+
+        def broadcast_filter_invalidate(requester: int, line_address: int,
+                                        scope_skip: Optional[bool] = None
+                                        ) -> bool:
+            performed = inner_broadcast(requester, line_address, scope_skip)
+            if performed:
+                emit("coherence", "filter_invalidate_broadcast",
+                     core=requester, address=line_address)
+            return performed
+
+        def traced_listener(listener: FilterInvalidationListener,
+                            core_id: int) -> FilterInvalidationListener:
+            def invalidate(line_address: int):
+                present = listener(line_address)
+                if present:
+                    emit("filter", "invalidate", core=core_id,
+                         address=line_address, broadcast=True)
+                return present
+            return invalidate
+
+        for core_id, listeners in self._filter_listeners.items():
+            self._filter_listeners[core_id] = [
+                traced_listener(listener, core_id) for listener in listeners]
+        self.snoop = snoop
+        self.record_nack = record_nack
+        self.downgrade_core = downgrade_core
+        self.broadcast_filter_invalidate = broadcast_filter_invalidate
+
     @property
     def nacks(self) -> int:
         return self._nacks.value

@@ -8,6 +8,7 @@ stats framework in the original evaluation.
 
 from __future__ import annotations
 
+import math
 from types import MappingProxyType
 from typing import Dict, Iterator, List, Mapping, Optional, Tuple
 
@@ -63,6 +64,33 @@ class Histogram:
     @property
     def mean(self) -> float:
         return self._total / self._count if self._count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """The nearest-rank ``p``-th percentile of the samples.
+
+        ``percentile(50)`` is the median, ``percentile(99)`` the tail
+        latency summaries quote; an empty histogram reads 0.0.
+        """
+        if not 0 <= p <= 100:
+            raise ValueError("percentile must be in [0, 100]")
+        if not self._count:
+            return 0.0
+        rank = max(1, math.ceil(self._count * p / 100))
+        seen = 0
+        for value in sorted(self._buckets):
+            seen += self._buckets[value]
+            if seen >= rank:
+                return float(value)
+        return float(max(self._buckets))
+
+    def stddev(self) -> float:
+        """Population standard deviation of the samples (0.0 when empty)."""
+        if not self._count:
+            return 0.0
+        mean = self.mean
+        variance = sum(weight * (value - mean) ** 2
+                       for value, weight in self._buckets.items())
+        return (variance / self._count) ** 0.5
 
     def buckets(self) -> Mapping[int, int]:
         """A read-only live view of the bucket contents.
@@ -142,6 +170,17 @@ class StatGroup:
 
     def as_dict(self) -> Dict[str, int]:
         return dict(self.walk())
+
+    def to_timeseries(self) -> "TimeSeries":
+        """A :class:`~repro.telemetry.metrics.TimeSeries` over this tree.
+
+        Each ``sample(cycle)`` call snapshots every counter (dotted-path
+        columns); see :mod:`repro.telemetry.metrics` for the CSV export and
+        the delta/rate helpers that turn cumulative counters into MPKI or
+        squash rate over time.
+        """
+        from repro.telemetry.metrics import TimeSeries
+        return TimeSeries(self)
 
     def reset(self) -> None:
         for counter in self._counters.values():

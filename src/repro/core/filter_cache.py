@@ -298,6 +298,53 @@ class SpeculativeFilterCache:
         self._lines_flushed.increment(dropped)
         return dropped
 
+    # -- observability ---------------------------------------------------------
+    def attach_tracer(self, tracer, unit: str,
+                      core: Optional[int] = None) -> None:
+        """Emit trace events for installs/commits/invalidates/flushes.
+
+        Instance-attribute wrappers shadow the class methods, so untraced
+        filter caches pay nothing (the zero-cost-when-disabled contract of
+        :mod:`repro.telemetry`).  Events carry physical line addresses so
+        they correlate with the hierarchy's cache and coherence events.
+        """
+        emit = tracer.emit
+        inner_fill = self.fill
+        inner_commit = self.mark_committed
+        inner_invalidate = self.invalidate_physical
+        inner_flush = self.flush
+
+        def fill(virtual_address, physical_address, now, **kwargs):
+            line = inner_fill(virtual_address, physical_address, now,
+                              **kwargs)
+            emit("filter", "install", cycle=now, core=core,
+                 address=line.address, unit=unit, committed=line.committed)
+            return line
+
+        def mark_committed(virtual_address, now=0):
+            line = inner_commit(virtual_address, now)
+            if line is not None:
+                emit("filter", "commit", cycle=now, core=core,
+                     address=line.address, unit=unit)
+            return line
+
+        def invalidate_physical(physical_address):
+            present = inner_invalidate(physical_address)
+            if present:
+                emit("filter", "invalidate", core=core,
+                     address=self.line_address(physical_address), unit=unit)
+            return present
+
+        def flush():
+            dropped = inner_flush()
+            emit("filter", "flush", core=core, unit=unit, lines=dropped)
+            return dropped
+
+        self.fill = fill
+        self.mark_committed = mark_committed
+        self.invalidate_physical = invalidate_physical
+        self.flush = flush
+
     # -- introspection -------------------------------------------------------------
     def resident_lines(self) -> List[CacheLine]:
         return [line for set_index in range(self.num_sets)

@@ -62,6 +62,7 @@ from repro.cpu.instructions import (
 )
 from repro.cpu.interface import MemorySystem
 from repro.cpu.rob import LoadQueue, ReorderBuffer, StoreQueue
+from repro.telemetry.tracer import active_tracer as _active_tracer
 
 #: Initial size of the flat register ready-time/taint arrays; grown on
 #: demand for traces that name larger register ids.
@@ -150,6 +151,10 @@ class OutOfOrderCore:
                                            "validation_latency", None)
         self._record_delayed_forward = getattr(memory_system,
                                                "record_delayed_forward", None)
+        # The active tracer for the op currently in execute_op (None when
+        # tracing is off); helpers read it instead of re-consulting the
+        # module-level guard.
+        self._tracer = None
 
     # -- bandwidth helpers ---------------------------------------------------------
     def _bandwidth_limit(self, desired_time: int,
@@ -214,8 +219,15 @@ class OutOfOrderCore:
         if not op.wrong_path:
             return
         window = max(1, resolve_time - dispatch_time)
+        tracer = self._tracer
         for access in op.wrong_path:
             issue_at = dispatch_time + min(access.issue_offset, window)
+            if tracer is not None:
+                tracer.now = issue_at
+                tracer.emit("pipeline", "squash", cycle=issue_at,
+                            core=self.core_id, address=access.address,
+                            pc=op.pc, store=access.is_store,
+                            fetch=access.is_instruction)
             if access.is_instruction:
                 self.memory.fetch(self.core_id, self.process_id,
                                   access.address, issue_at,
@@ -238,6 +250,7 @@ class OutOfOrderCore:
         """Process one micro-op; returns its commit time."""
         op.sequence = self._sequence
         self._sequence += 1
+        tracer = self._tracer = _active_tracer()
 
         # 1. Front end: fetch and dispatch, bounded by ROB/LSQ occupancy and
         #    dispatch bandwidth.
@@ -263,6 +276,11 @@ class OutOfOrderCore:
                 issue_time = source_taint
                 if self._record_delayed_forward is not None:
                     self._record_delayed_forward()
+        if tracer is not None:
+            tracer.now = issue_time
+            tracer.emit("pipeline", "issue", cycle=issue_time,
+                        core=self.core_id, address=op.address, pc=op.pc,
+                        kind=op.kind.value)
 
         # 3. Execute.
         completion, taint_visibility = self._execute(op, issue_time,
@@ -278,8 +296,15 @@ class OutOfOrderCore:
         commit_time = max(completion, self._last_commit_time)
         commit_time, self._committed_in_cycle = self._bandwidth_limit(
             commit_time, self._committed_in_cycle, self.core_config.width)
+        if tracer is not None:
+            tracer.now = commit_time
         commit_time += self._commit_actions(op, commit_time, issue_time)
         self._last_commit_time = commit_time
+        if tracer is not None:
+            tracer.now = commit_time
+            tracer.emit("pipeline", "commit", cycle=commit_time,
+                        core=self.core_id, address=op.address, pc=op.pc,
+                        kind=op.kind.value, issue=issue_time)
 
         # 5. Update structures.
         self.rob.retire_older_than(dispatch_time)
@@ -321,6 +346,11 @@ class OutOfOrderCore:
             # instruction, i.e. not before every older instruction committed.
             self._nack_retries.increment()
             retry_time = max(issue_time, self._last_commit_time)
+            if self._tracer is not None:
+                self._tracer.now = retry_time
+                self._tracer.emit("pipeline", "nack_retry", cycle=retry_time,
+                                  core=self.core_id, address=op.address,
+                                  pc=op.pc)
             retry = self.memory.load(self.core_id, self.process_id, op.address,
                                      retry_time, speculative=False, pc=op.pc)
             completion = retry_time + retry.latency
@@ -349,6 +379,10 @@ class OutOfOrderCore:
                                         resolve_time)
         if mispredicted:
             self._mispredictions.increment()
+            if self._tracer is not None:
+                self._tracer.emit("pipeline", "mispredict",
+                                  cycle=resolve_time, core=self.core_id,
+                                  pc=op.pc)
             self._execute_wrong_path(op, dispatch_time, resolve_time)
             # Redirect: the front end can only deliver correct-path
             # instructions after the pipeline refills.
@@ -417,7 +451,15 @@ class OutOfOrderCore:
         struct-of-arrays trace with every per-op attribute lookup hoisted
         into locals and statistics accumulated in local integers that are
         flushed once per call.
+
+        When a tracer is active (``repro.telemetry``), execution routes
+        through the per-op boundary path instead — bit-identical results,
+        every hook point live.  With tracing off (the default) the check
+        is one module-global read per call and the loop below is
+        untouched, which is what keeps telemetry zero-cost when disabled.
         """
+        if _active_tracer() is not None:
+            return self._run_packed_traced(packed, start, end)
         if end is None:
             end = packed.length
         # -- trace columns ---------------------------------------------------
@@ -755,6 +797,24 @@ class OutOfOrderCore:
         if n_context_switches:
             self._context_switches.add(n_context_switches)
         return last_commit_time
+
+    def _run_packed_traced(self, packed, start: int = 0,
+                           end: Optional[int] = None) -> int:
+        """The traced twin of :meth:`run_packed`.
+
+        Materialises each op and drives it through :meth:`execute_op` — the
+        boundary path golden-tested bit-identical to the packed loop — so
+        the pipeline, cache, coherence, filter and TLB hook points all fire
+        while cycles, instructions and statistics stay exactly those of the
+        untraced run.
+        """
+        if end is None:
+            end = packed.length
+        op_at = packed.op
+        execute_op = self.execute_op
+        for index in range(start, end):
+            execute_op(op_at(index))
+        return self._last_commit_time
 
     # -- whole-trace execution -----------------------------------------------------------------------------
     def run(self, trace: Union["Trace", "PackedTrace", Iterable[MicroOp]]

@@ -20,7 +20,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro.common.params import ProtectionMode, SystemConfig
 from repro.common.statistics import geometric_mean
 from repro.harness.report import Report
 from repro.sim.runner import (
@@ -226,6 +225,35 @@ def figure9(runner: Optional[ExperimentRunner] = None,
         series={label: dict(s.values) for label, s in series.items()})
     result.compute_geomeans()
     return result
+
+
+def metrics_over_time(benchmark: str, scheme: str = "muontrap",
+                      every: int = 1000, *,
+                      seed: Optional[int] = None,
+                      instructions: Optional[int] = None,
+                      runner: Optional[ExperimentRunner] = None):
+    """A benchmark's metrics sampled every N cycles, for over-time plots.
+
+    Runs one instrumented simulation through :func:`repro.api.simulate`
+    and returns its :class:`~repro.telemetry.metrics.TimeSeries` — MPKI,
+    squash rate or filter occupancy over simulated time, e.g.::
+
+        series = metrics_over_time("mcf", "muontrap", every=1000)
+        mpki = series.rate("system.memory_system.data_misses",
+                           "system.core0.committed_instructions",
+                           scale=1000)
+
+    The figures above plot end-of-run aggregates; this is the entry point
+    for the time-resolved view of the same runs.
+    """
+    from repro import api
+    runner = runner or ExperimentRunner()
+    outcome = api.simulate(
+        benchmark, scheme, seed=runner.seed if seed is None else seed,
+        instructions=(runner.instructions if instructions is None
+                      else instructions),
+        warmup_fraction=0.0, collect_stats=True, metrics_every=every)
+    return outcome.timeseries
 
 
 ALL_FIGURES = {

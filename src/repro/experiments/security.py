@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Type
 
 from repro.attacks import ALL_ATTACKS, AttackOutcome
-from repro.common.params import ProtectionMode, SchemeLike, scheme_name
+from repro.common.params import SchemeLike, scheme_name
 
 
 @dataclass
@@ -43,15 +43,15 @@ class SecurityMatrix:
 
     @property
     def muontrap_blocks_everything(self) -> bool:
-        return all(not per_mode[ProtectionMode.MUONTRAP.value].succeeded
+        return all(not per_mode["muontrap"].succeeded
                    for per_mode in self.outcomes.values()
-                   if ProtectionMode.MUONTRAP.value in per_mode)
+                   if "muontrap" in per_mode)
 
     @property
     def unprotected_leaks_everything(self) -> bool:
-        return all(per_mode[ProtectionMode.UNPROTECTED.value].succeeded
+        return all(per_mode["unprotected"].succeeded
                    for per_mode in self.outcomes.values()
-                   if ProtectionMode.UNPROTECTED.value in per_mode)
+                   if "unprotected" in per_mode)
 
 
 def run_security_evaluation(
@@ -63,8 +63,7 @@ def run_security_evaluation(
     members); the default pits the baseline that must leak against the
     scheme that must not.
     """
-    modes = list(modes or [ProtectionMode.UNPROTECTED,
-                           ProtectionMode.MUONTRAP])
+    modes = list(modes or ["unprotected", "muontrap"])
     attacks = list(attacks or ALL_ATTACKS)
     matrix = SecurityMatrix()
     for attack_cls in attacks:

@@ -22,8 +22,11 @@ Three properties make campaigns practical for paper-scale sweeps:
 from __future__ import annotations
 
 import multiprocessing
+import os
+import sys
+import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.common.params import SystemConfig
 from repro.common.statistics import geometric_mean
@@ -36,10 +39,15 @@ from repro.sim.runner import (
 )
 from repro.sim.simulator import SimulationResult, Simulator
 from repro.sim.system import build_system
+from repro.telemetry.log import get_logger, log_event
+from repro.telemetry.phases import phase
 from repro.workloads.generator import generate_workload
 from repro.workloads.profiles import WorkloadProfile, get_profile
 
 DEFAULT_SEED = 1234
+
+#: Progress callback: called with (cells_done, cells_total).
+ProgressCallback = Callable[[int, int], None]
 
 
 def derive_seed(base_seed: int, replicate: int) -> int:
@@ -83,24 +91,51 @@ def run_cell(spec: RunSpec) -> SimulationResult:
     ``REPRO_TRACE_CACHE`` at a directory extends the sharing across
     workers and campaign invocations.
     """
-    workload = generate_workload(spec.profile, spec.instructions,
-                                 seed=spec.seed)
-    cores_needed = max(1, spec.profile.num_threads)
-    system_config = spec.config.with_cores(max(spec.config.num_cores,
-                                               cores_needed))
-    system = build_system(system_config, seed=spec.seed)
-    simulator = Simulator(system)
-    return simulator.run(workload, collect_stats=spec.collect_stats,
-                         warmup_fraction=spec.warmup_fraction)
+    with phase("trace-gen"):
+        workload = generate_workload(spec.profile, spec.instructions,
+                                     seed=spec.seed)
+    with phase("pack"):
+        for trace in workload:
+            trace.packed()
+    with phase("simulate"):
+        cores_needed = max(1, spec.profile.num_threads)
+        system_config = spec.config.with_cores(max(spec.config.num_cores,
+                                                   cores_needed))
+        system = build_system(system_config, seed=spec.seed)
+        simulator = Simulator(system)
+        return simulator.run(workload, collect_stats=spec.collect_stats,
+                             warmup_fraction=spec.warmup_fraction)
+
+
+def _run_cell_timed(spec: RunSpec) -> Tuple[SimulationResult, float]:
+    """Pool-side wrapper: the result plus its wall-clock seconds.
+
+    The per-cell duration is measured inside the worker, so the aggregate
+    ``executed_seconds`` reflects simulation work, not pool scheduling.
+    """
+    started = time.perf_counter()
+    result = run_cell(spec)
+    return result, time.perf_counter() - started
 
 
 @dataclass
 class ExecutionStats:
-    """Where each requested cell came from."""
+    """Where each requested cell came from, and what executing cost.
+
+    ``executed_seconds`` sums per-cell wall-clock measured inside the
+    workers; ``wall_seconds`` is the caller-side wall-clock of the whole
+    :func:`execute_cells` call; ``workers`` is the pool size actually
+    used.  Their ratio is the pool's utilisation — low values mean the
+    campaign is dominated by stragglers or pool overhead rather than
+    simulation.
+    """
 
     executed: int = 0
     store_hits: int = 0
     memory_hits: int = 0
+    executed_seconds: float = 0.0
+    wall_seconds: float = 0.0
+    workers: int = 1
 
     @property
     def total(self) -> int:
@@ -112,12 +147,32 @@ class ExecutionStats:
             return 0.0
         return (self.store_hits + self.memory_hits) / self.total
 
+    @property
+    def worker_utilisation(self) -> float:
+        """Fraction of the pool's wall-clock spent simulating, in [0, 1]."""
+        if not self.executed or self.wall_seconds <= 0:
+            return 0.0
+        return min(1.0, self.executed_seconds
+                   / (self.wall_seconds * max(1, self.workers)))
+
+    def summary(self) -> str:
+        """One human-readable line for reports and logs."""
+        text = (f"{self.executed} executed, {self.store_hits} store hits, "
+                f"{self.memory_hits} memory hits "
+                f"({self.cached_fraction:.0%} cached)")
+        if self.executed and self.wall_seconds > 0:
+            text += (f"; {self.executed_seconds:.2f}s simulated work in "
+                     f"{self.wall_seconds:.2f}s wall on {self.workers} "
+                     f"worker(s), {self.worker_utilisation:.0%} utilisation")
+        return text
+
 
 def execute_cells(specs: Sequence[RunSpec], *,
                   jobs: Optional[int] = None,
                   store: Optional[ResultStore] = None,
                   cache: Optional[Dict[str, SimulationResult]] = None,
-                  stats: Optional[ExecutionStats] = None
+                  stats: Optional[ExecutionStats] = None,
+                  progress: Optional[ProgressCallback] = None
                   ) -> Dict[str, SimulationResult]:
     """Execute cells, consulting the in-memory cache and result store.
 
@@ -125,9 +180,15 @@ def execute_cells(specs: Sequence[RunSpec], *,
     missing from both caches run on a ``multiprocessing`` pool when
     ``jobs > 1`` (in submission order otherwise); results land back in
     both caches.  The output is independent of the worker count.
+
+    ``progress`` (if given) is called with ``(done, total)`` over the
+    *unique* cells: once up front for everything the caches satisfied,
+    then once per finished simulation.
     """
     jobs = parallel_jobs(default=None) if jobs is None else max(1, jobs)
     stats = stats if stats is not None else ExecutionStats()
+    logger = get_logger("harness.campaign")
+    started = time.perf_counter()
     results: Dict[str, SimulationResult] = {}
     pending: List[Tuple[str, RunSpec]] = []
     pending_keys: set = set()
@@ -148,18 +209,48 @@ def execute_cells(specs: Sequence[RunSpec], *,
         pending.append((key, spec))
         pending_keys.add(key)
 
+    total = len(results) + len(pending)
+    done = len(results)
+    if progress is not None:
+        progress(done, total)
+
     if pending:
         stats.executed += len(pending)
         todo = [spec for _, spec in pending]
-        if jobs > 1 and len(todo) > 1:
+        workers = min(jobs, len(todo)) if jobs > 1 and len(todo) > 1 else 1
+        stats.workers = max(stats.workers, workers)
+        log_event(logger, "execute_start", cells=len(todo), cached=done,
+                  workers=workers)
+        if workers > 1:
             try:
                 context = multiprocessing.get_context("fork")
             except ValueError:
                 context = multiprocessing.get_context()
-            with context.Pool(processes=min(jobs, len(todo))) as pool:
-                outcomes = pool.map(run_cell, todo, chunksize=1)
+            with context.Pool(processes=workers) as pool:
+                outcomes = []
+                for (key, spec), (result, seconds) in zip(
+                        pending,
+                        pool.imap(_run_cell_timed, todo, chunksize=1)):
+                    outcomes.append(result)
+                    stats.executed_seconds += seconds
+                    done += 1
+                    log_event(logger, "cell_done", benchmark=spec.benchmark,
+                              label=spec.label, seed=spec.seed,
+                              seconds=f"{seconds:.2f}")
+                    if progress is not None:
+                        progress(done, total)
         else:
-            outcomes = [run_cell(spec) for spec in todo]
+            outcomes = []
+            for key, spec in pending:
+                result, seconds = _run_cell_timed(spec)
+                outcomes.append(result)
+                stats.executed_seconds += seconds
+                done += 1
+                log_event(logger, "cell_done", benchmark=spec.benchmark,
+                          label=spec.label, seed=spec.seed,
+                          seconds=f"{seconds:.2f}")
+                if progress is not None:
+                    progress(done, total)
         for (key, spec), result in zip(pending, outcomes):
             results[key] = result
             if store is not None:
@@ -173,7 +264,42 @@ def execute_cells(specs: Sequence[RunSpec], *,
 
     if cache is not None:
         cache.update(results)
+    stats.wall_seconds += time.perf_counter() - started
+    if pending:
+        log_event(logger, "execute_done", executed=stats.executed,
+                  store_hits=stats.store_hits, memory_hits=stats.memory_hits,
+                  wall=f"{stats.wall_seconds:.2f}")
     return results
+
+
+def _progress_enabled() -> bool:
+    """Progress-line gate: ``REPRO_PROGRESS`` override, else a TTY check."""
+    raw = os.environ.get("REPRO_PROGRESS", "").strip().lower()
+    if raw in ("1", "true", "yes", "on"):
+        return True
+    if raw in ("0", "false", "no", "off"):
+        return False
+    try:
+        return sys.stderr.isatty()
+    except Exception:
+        return False
+
+
+class _ProgressLine:
+    """A live ``\\rcells done/total`` line on stderr, newline on completion."""
+
+    def __init__(self, stream=None) -> None:
+        self._stream = stream if stream is not None else sys.stderr
+        self._started = time.perf_counter()
+
+    def __call__(self, done: int, total: int) -> None:
+        elapsed = time.perf_counter() - self._started
+        percent = (100 * done // total) if total else 100
+        self._stream.write(f"\rcells {done}/{total} ({percent}%) "
+                           f"{elapsed:.1f}s")
+        if done >= total:
+            self._stream.write("\n")
+        self._stream.flush()
 
 
 @dataclass
@@ -355,12 +481,22 @@ class Campaign:
                         collect_stats=self.collect_stats))
         return specs
 
-    def run(self) -> CampaignResult:
-        """Execute the matrix (parallel, cached) and index the results."""
+    def run(self, progress: Optional[ProgressCallback] = None
+            ) -> CampaignResult:
+        """Execute the matrix (parallel, cached) and index the results.
+
+        ``progress`` overrides the live progress line: pass a callback to
+        observe ``(done, total)`` yourself, or leave it ``None`` to get a
+        ``\\r``-updating stderr line when stderr is a TTY (force with
+        ``REPRO_PROGRESS=1``/``0``).
+        """
+        if progress is None and _progress_enabled():
+            progress = _ProgressLine()
         stats = ExecutionStats()
         specs = self.cells()
         results = execute_cells(specs, jobs=self.jobs, store=self.store,
-                                cache=self._cache, stats=stats)
+                                cache=self._cache, stats=stats,
+                                progress=progress)
         series = self._series()
         runs = {(spec.benchmark, spec.label, spec.seed): results[spec.key()]
                 for spec in specs}

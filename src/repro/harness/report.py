@@ -11,10 +11,10 @@ from __future__ import annotations
 import csv
 import io
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.common.statistics import geometric_mean
-from repro.harness.campaign import CampaignResult
+from repro.harness.campaign import CampaignResult, ExecutionStats
 
 GEOMEAN_ROW = "geomean"
 
@@ -29,6 +29,8 @@ class Report:
     geomeans: Dict[str, float] = field(default_factory=dict)
     title: str = ""
     precision: int = 3
+    #: Optional execution accounting; rendered as a footnote when present.
+    stats: Optional[ExecutionStats] = None
 
     def __post_init__(self) -> None:
         if not self.geomeans:
@@ -39,11 +41,13 @@ class Report:
 
     @classmethod
     def from_campaign(cls, result: CampaignResult, title: str = "",
-                      precision: int = 3) -> "Report":
+                      precision: int = 3,
+                      include_stats: bool = False) -> "Report":
         # Geomeans are derived from the series by __post_init__.
         return cls(benchmarks=list(result.benchmarks),
                    series=result.normalised(),
-                   title=title, precision=precision)
+                   title=title, precision=precision,
+                   stats=result.stats if include_stats else None)
 
     @classmethod
     def from_campaign_constituents(cls, result: CampaignResult,
@@ -100,10 +104,13 @@ class Report:
         rows = self.rows()
         label_width = max(column_width,
                           max(len(row[0]) for row in rows))
-        return "\n".join(
+        text = "\n".join(
             "  ".join(f"{cell:>{label_width if index == 0 else column_width}s}"
                       for index, cell in enumerate(row))
             for row in rows)
+        if self.stats is not None:
+            text += f"\n\ncells: {self.stats.summary()}"
+        return text
 
     def to_markdown(self) -> str:
         rows = self.rows()
@@ -116,6 +123,9 @@ class Report:
             len(rows[0]) - 1)) + "|")
         for row in rows[1:]:
             lines.append("| " + " | ".join(row) + " |")
+        if self.stats is not None:
+            lines.append("")
+            lines.append(f"_cells: {self.stats.summary()}_")
         return "\n".join(lines)
 
     def to_csv(self) -> str:

@@ -19,7 +19,7 @@ import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, TYPE_CHECKING
 
-from repro.common.params import ProtectionConfig, ProtectionMode, SystemConfig
+from repro.common.params import ProtectionConfig, SystemConfig
 from repro.common.statistics import geometric_mean
 from repro.sim.simulator import SimulationResult
 from repro.workloads.profiles import WorkloadProfile, get_profile
@@ -221,7 +221,7 @@ def standard_modes(num_cores: int = 1) -> Dict[str, SystemConfig]:
 
 def unprotected_config(num_cores: int = 1) -> SystemConfig:
     return SystemConfig(num_cores=num_cores,
-                        mode=ProtectionMode.UNPROTECTED)
+                        mode="unprotected")
 
 
 def cumulative_protection_configs(num_cores: int = 1,
@@ -234,11 +234,11 @@ def cumulative_protection_configs(num_cores: int = 1,
     -> ``coherency`` -> ``ifcache`` -> ``prefetching`` -> ``clear misspec``
     (-> ``parallel L1d`` for Figure 9).
     """
-    base = SystemConfig(num_cores=num_cores, mode=ProtectionMode.MUONTRAP)
+    base = SystemConfig(num_cores=num_cores, mode="muontrap")
     none = ProtectionConfig.none()
     configs: Dict[str, SystemConfig] = {
         "insecure L0": SystemConfig(
-            num_cores=num_cores, mode=ProtectionMode.INSECURE_L0,
+            num_cores=num_cores, mode="insecure-l0",
             protection=none),
         "fcache only": base.with_protection(ProtectionConfig(
             data_filter_cache=True, instruction_filter_cache=False,

@@ -30,9 +30,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from typing import TYPE_CHECKING
+
 from repro.cpu.core import CoreResult
 from repro.sim.system import SimulatedSystem
 from repro.workloads.trace import Trace, WorkloadTraces
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.metrics import MetricsSampler
 
 #: The Table 1 core clock.  Execution *times* are reported in cycles of
 #: this reference clock: a core running at a different
@@ -168,9 +173,15 @@ class Simulator:
     INTERLEAVE_CHUNK = 64
 
     def __init__(self, system: SimulatedSystem,
-                 use_packed: bool = True) -> None:
+                 use_packed: bool = True,
+                 sampler: Optional["MetricsSampler"] = None) -> None:
         self.system = system
         self.use_packed = use_packed
+        # Time-series metrics (repro.telemetry.metrics): the sampler
+        # snapshots the system's statistics tree at interleave boundaries.
+        self.sampler = sampler
+        if sampler is not None:
+            sampler.bind(system)
 
     def run(self, workload: WorkloadTraces, collect_stats: bool = False,
             warmup_fraction: float = 0.0) -> SimulationResult:
@@ -224,6 +235,9 @@ class Simulator:
             cycles = max(result.cycles for result in core_results)
             instructions = sum(result.committed_instructions
                                for result in core_results)
+        if self.sampler is not None:
+            self.sampler.finish(max(core.current_cycle
+                                    for core in self.system.cores))
         stats = self.system.stats.as_dict() if collect_stats else {}
         config = self.system.config
         return SimulationResult(
@@ -273,6 +287,7 @@ class Simulator:
         for thread_id, trace in enumerate(traces):
             self.system.core(thread_id).process_id = trace.process_id
         remaining = done.count(False)
+        sampler = self.sampler
         while remaining:
             for thread_id, trace in enumerate(traces):
                 if done[thread_id]:
@@ -291,3 +306,7 @@ class Simulator:
                 if end >= ends[thread_id]:
                     done[thread_id] = True
                     remaining -= 1
+            if sampler is not None:
+                sampler.on_cycle(max(
+                    self.system.core(thread_id).current_cycle
+                    for thread_id in range(len(traces))))

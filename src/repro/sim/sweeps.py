@@ -6,7 +6,7 @@ import warnings
 from dataclasses import replace
 from typing import Dict, List, Sequence
 
-from repro.common.params import FilterCacheConfig, ProtectionMode, SystemConfig
+from repro.common.params import FilterCacheConfig, SystemConfig
 
 
 def filter_cache_size_configs(sizes_bytes: Sequence[int],
@@ -20,7 +20,7 @@ def filter_cache_size_configs(sizes_bytes: Sequence[int],
         ways = lines if fully_associative else min(4, lines)
         filter_config = FilterCacheConfig(size_bytes=size, associativity=ways)
         configs[size] = SystemConfig(
-            num_cores=num_cores, mode=ProtectionMode.MUONTRAP,
+            num_cores=num_cores, mode="muontrap",
             data_filter=filter_config)
     return configs
 
@@ -53,7 +53,7 @@ def filter_cache_associativity_configs(associativities: Sequence[int],
         filter_config = FilterCacheConfig(size_bytes=size_bytes,
                                           associativity=ways)
         configs[ways] = SystemConfig(
-            num_cores=num_cores, mode=ProtectionMode.MUONTRAP,
+            num_cores=num_cores, mode="muontrap",
             data_filter=filter_config)
     return configs
 

@@ -1,0 +1,48 @@
+"""Observability for the reproduction: tracing, metrics, logging, timers.
+
+Three layers, all opt-in and all zero-cost when unused:
+
+* **Event tracing** (:mod:`repro.telemetry.tracer`) — cycle-level typed
+  events (pipeline issue/commit/squash, cache hit/miss/fill/evict,
+  coherence transitions, filter-cache installs/invalidates, TLB walks)
+  exported as JSONL or Chrome trace-event JSON (Perfetto-viewable).
+* **Time-series metrics** (:mod:`repro.telemetry.metrics`) — periodic
+  snapshots of the statistics tree so MPKI, squash rate and filter-cache
+  occupancy can be plotted over time, per core.
+* **Runtime instrumentation** (:mod:`repro.telemetry.log`,
+  :mod:`repro.telemetry.phases`) — structured stderr logging gated by
+  ``REPRO_LOG`` and wall-clock phase timers surfaced by ``--profile``.
+
+The usual entry points are ``repro.api.simulate(trace=...,
+metrics_every=...)`` and ``python -m repro trace <benchmark>``.
+"""
+
+from repro.telemetry.events import CATEGORIES, TraceEvent
+from repro.telemetry.log import configure, get_logger, log_event
+from repro.telemetry.metrics import MetricsSampler, TimeSeries
+from repro.telemetry.phases import PHASES, PhaseTimers, phase
+from repro.telemetry.tracer import (
+    Tracer,
+    activate,
+    active_tracer,
+    deactivate,
+    tracing,
+)
+
+__all__ = [
+    "CATEGORIES",
+    "MetricsSampler",
+    "PHASES",
+    "PhaseTimers",
+    "TimeSeries",
+    "TraceEvent",
+    "Tracer",
+    "activate",
+    "active_tracer",
+    "configure",
+    "deactivate",
+    "get_logger",
+    "log_event",
+    "phase",
+    "tracing",
+]

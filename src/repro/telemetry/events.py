@@ -1,0 +1,65 @@
+"""Typed trace-event records.
+
+One :class:`TraceEvent` describes one thing that happened at one simulated
+cycle: a pipeline issue/commit/squash, a cache hit/miss/fill/evict, a
+coherence transition, a filter-cache install/invalidate, a TLB walk.  The
+record is deliberately flat — category + name + the handful of identifiers
+every consumer needs (cycle, core, address, pc) plus an open ``detail``
+mapping for event-specific fields — so the export formats (JSON lines,
+Chrome trace-event JSON) are a direct serialisation with no schema layer
+in between.
+
+Timestamps are simulated cycles, never wall-clock, which is what makes a
+seed-pinned trace byte-identical across runs, hosts and worker counts.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+#: The event categories the built-in hook points emit.  A category is just
+#: a string; the tuple exists for documentation and for category filters.
+CATEGORIES = ("pipeline", "cache", "coherence", "filter", "tlb", "meta")
+
+
+@dataclass(slots=True)
+class TraceEvent:
+    """One simulated event.
+
+    ``category`` groups events by subsystem (``pipeline``, ``cache``,
+    ``coherence``, ``filter``, ``tlb``, ``meta``); ``name`` says what
+    happened (``issue``, ``hit``, ``snoop``, ...).  ``core``, ``address``
+    and ``pc`` are optional identifiers; anything else lives in ``detail``.
+    """
+
+    cycle: int
+    category: str
+    name: str
+    core: Optional[int] = None
+    address: Optional[int] = None
+    pc: Optional[int] = None
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Flat dict form; ``None`` identifiers are omitted."""
+        record: Dict[str, Any] = {
+            "cycle": self.cycle,
+            "cat": self.category,
+            "name": self.name,
+        }
+        if self.core is not None:
+            record["core"] = self.core
+        if self.address is not None:
+            record["addr"] = self.address
+        if self.pc is not None:
+            record["pc"] = self.pc
+        if self.detail:
+            record.update(self.detail)
+        return record
+
+    def to_json(self) -> str:
+        """One deterministic JSON line (sorted keys, no whitespace)."""
+        return json.dumps(self.as_dict(), sort_keys=True,
+                          separators=(",", ":"))

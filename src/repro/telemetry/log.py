@@ -1,0 +1,62 @@
+"""Structured runtime logging for the harness.
+
+Everything under the ``repro`` logger hierarchy writes to stderr; the
+``REPRO_LOG`` environment variable sets the level (``DEBUG``, ``INFO``,
+``WARNING``, ...; default ``WARNING``, so the harness is silent unless
+asked).  Messages are structured as ``event key=value ...`` lines via
+:func:`log_event`, which keeps them grep-able without a parsing layer::
+
+    REPRO_LOG=INFO python -m repro run --suite quick
+    ... INFO repro.harness.campaign cell_done benchmark=mcf label=MuonTrap seconds=0.41
+
+Logging never touches simulated state and is configured lazily, so code
+that never logs pays one ``is-configured`` check per ``get_logger`` call
+and nothing per simulated instruction.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+from typing import Any
+
+_CONFIGURED = False
+
+
+def configure(force: bool = False) -> None:
+    """Apply ``REPRO_LOG`` to the ``repro`` logger hierarchy (idempotent)."""
+    global _CONFIGURED
+    if _CONFIGURED and not force:
+        return
+    _CONFIGURED = True
+    root = logging.getLogger("repro")
+    if not root.handlers:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(logging.Formatter(
+            "%(levelname)s %(name)s %(message)s"))
+        root.addHandler(handler)
+    root.propagate = False
+    level_name = os.environ.get("REPRO_LOG", "").strip().upper()
+    level = getattr(logging, level_name, None) if level_name else None
+    root.setLevel(level if isinstance(level, int) else logging.WARNING)
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A logger in the ``repro`` hierarchy, configured per ``REPRO_LOG``."""
+    configure()
+    if not name:
+        qualified = "repro"
+    elif name == "repro" or name.startswith("repro."):
+        qualified = name
+    else:
+        qualified = f"repro.{name}"
+    return logging.getLogger(qualified)
+
+
+def log_event(logger: logging.Logger, event: str, **fields: Any) -> None:
+    """Log one structured ``event key=value ...`` line at INFO level."""
+    if not logger.isEnabledFor(logging.INFO):
+        return
+    rendered = " ".join(f"{key}={fields[key]}" for key in fields)
+    logger.info("%s %s" % (event, rendered) if rendered else event)

@@ -57,6 +57,28 @@ class PageTableWalker:
     def walk_latency(self) -> int:
         return self.config.walk_latency
 
+    # -- observability -------------------------------------------------------
+    def attach_tracer(self, tracer, unit: str = "walker",
+                      core: "Optional[int]" = None) -> None:
+        """Emit a ``tlb walk`` trace event per page-table walk.
+
+        The wrapper is an instance attribute shadowing the class method, so
+        untraced walkers pay nothing (the zero-cost-when-disabled contract
+        of :mod:`repro.telemetry`).  Events are stamped with the tracer's
+        cycle cursor (walks carry no timestamp of their own).
+        """
+        emit = tracer.emit
+        inner_walk = self.walk
+
+        def walk(address_space: AddressSpace,
+                 virtual_address: int) -> Optional[int]:
+            physical = inner_walk(address_space, virtual_address)
+            emit("tlb", "walk", core=core, address=virtual_address,
+                 unit=unit, fault=physical is None)
+            return physical
+
+        self.walk = walk
+
 
 class MMU:
     """Combines a TLB, an optional filter TLB and the page-table walker.
@@ -173,3 +195,10 @@ class MMU:
         """Flush speculative translation state on a protection-domain switch."""
         if self.filter_tlb is not None:
             self.filter_tlb.flush()
+
+    # -- observability -------------------------------------------------------
+    def attach_tracer(self, tracer, unit: str = "mmu",
+                      core: Optional[int] = None) -> None:
+        """Trace this MMU's page-table walks (see
+        :meth:`PageTableWalker.attach_tracer`)."""
+        self.walker.attach_tracer(tracer, unit=unit, core=core)

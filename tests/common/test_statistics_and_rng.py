@@ -51,6 +51,57 @@ class TestCountersAndHistograms:
         assert view.get(999) is None
         assert 999 not in histogram.buckets()
 
+    def test_histogram_percentile_nearest_rank(self):
+        histogram = Histogram("h")
+        for value in (15, 20, 35, 40, 50):
+            histogram.sample(value)
+        # Canonical nearest-rank worked example.
+        assert histogram.percentile(5) == 15.0
+        assert histogram.percentile(30) == 20.0
+        assert histogram.percentile(40) == 20.0
+        assert histogram.percentile(50) == 35.0
+        assert histogram.percentile(100) == 50.0
+        assert histogram.percentile(0) == 15.0
+
+    def test_histogram_percentile_respects_weights(self):
+        histogram = Histogram("h")
+        histogram.sample(1, weight=99)
+        histogram.sample(1000)
+        assert histogram.percentile(50) == 1.0
+        assert histogram.percentile(99) == 1.0
+        assert histogram.percentile(100) == 1000.0
+
+    def test_histogram_percentile_edge_cases(self):
+        histogram = Histogram("h")
+        assert histogram.percentile(50) == 0.0        # empty reads 0.0
+        with pytest.raises(ValueError):
+            histogram.percentile(-1)
+        with pytest.raises(ValueError):
+            histogram.percentile(100.5)
+
+    @given(st.lists(st.integers(min_value=0, max_value=500),
+                    min_size=1, max_size=60))
+    def test_histogram_percentile_matches_sorted_samples(self, values):
+        import math
+        histogram = Histogram("h")
+        for value in values:
+            histogram.sample(value)
+        ordered = sorted(values)
+        for p in (1, 25, 50, 75, 90, 99, 100):
+            rank = max(1, math.ceil(len(ordered) * p / 100))
+            assert histogram.percentile(p) == float(ordered[rank - 1])
+
+    def test_histogram_stddev(self):
+        import statistics as stdlib_statistics
+        histogram = Histogram("h")
+        assert histogram.stddev() == 0.0              # empty reads 0.0
+        histogram.sample(4)
+        assert histogram.stddev() == 0.0              # single sample
+        histogram.sample(8, weight=2)
+        histogram.sample(2)
+        expected = stdlib_statistics.pstdev([4, 8, 8, 2])
+        assert histogram.stddev() == pytest.approx(expected)
+
 
 class TestStatGroup:
     def test_nested_access_by_path(self):

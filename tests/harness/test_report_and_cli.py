@@ -128,12 +128,12 @@ class TestCli:
                 "--mode", "muontrap", "--jobs", "2")
         assert self.run_cli(*args) == 0
         first = capsys.readouterr().out
-        assert "4 executed, 0 from store" in first
+        assert "4 executed, 0 store hits" in first
         assert "geomean" in first
 
         assert self.run_cli(*args) == 0
         second = capsys.readouterr().out
-        assert "0 executed, 4 from store" in second
+        assert "0 executed, 4 store hits" in second
         assert "100% cached" in second
 
     def test_report_renders_markdown(self, capsys):

@@ -1,0 +1,63 @@
+"""End-to-end tests for ``python -m repro trace``."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestTraceSubcommand:
+    @pytest.fixture
+    def artefacts(self, tmp_path, capsys):
+        jsonl = tmp_path / "mcf.trace.jsonl"
+        chrome = tmp_path / "mcf.chrome.json"
+        csv = tmp_path / "mcf.metrics.csv"
+        status = main(["trace", "mcf", "--mode", "muontrap",
+                       "--instructions", "600", "--seed", "7",
+                       "--trace", str(jsonl), "--chrome", str(chrome),
+                       "--metrics-every", "500", "--metrics-out", str(csv)])
+        return status, capsys.readouterr().out, jsonl, chrome, csv
+
+    def test_exits_cleanly_with_a_summary(self, artefacts):
+        status, out, jsonl, chrome, csv = artefacts
+        assert status == 0
+        assert "benchmark:  mcf" in out
+        assert "cycles:" in out and "events:" in out
+        assert str(jsonl) in out
+        assert "perfetto" in out
+        assert str(csv) in out
+
+    def test_writes_parseable_jsonl(self, artefacts):
+        _, _, jsonl, _, _ = artefacts
+        lines = jsonl.read_text().splitlines()
+        assert lines
+        first = json.loads(lines[0])
+        assert first["cat"] == "meta" and first["name"] == "core_scheme"
+        assert all(json.loads(line)["cycle"] >= 0 for line in lines[:50])
+
+    def test_writes_perfetto_loadable_chrome_trace(self, artefacts):
+        _, _, _, chrome, _ = artefacts
+        payload = json.loads(chrome.read_text())
+        assert payload["traceEvents"]
+        assert {"name", "ph", "ts", "pid", "tid"} <= set(
+            payload["traceEvents"][0])
+
+    def test_writes_metrics_csv(self, artefacts):
+        _, _, _, _, csv = artefacts
+        lines = csv.read_text().splitlines()
+        assert lines[0].startswith("cycle,")
+        assert len(lines) >= 3            # header + at least two samples
+
+    def test_default_trace_path_lands_in_cwd(self, tmp_path, monkeypatch,
+                                             capsys):
+        monkeypatch.chdir(tmp_path)
+        status = main(["trace", "mcf", "--instructions", "600",
+                       "--seed", "7"])
+        assert status == 0
+        out = capsys.readouterr().out
+        default = tmp_path / "mcf-muontrap.trace.jsonl"
+        assert default.exists()
+        assert "mcf-muontrap.trace.jsonl" in out
+        # No --metrics-every: no metrics line promised.
+        assert "samples" not in out

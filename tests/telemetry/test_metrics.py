@@ -1,0 +1,153 @@
+"""Tests for time-series metrics: TimeSeries, MetricsSampler, CSV export."""
+
+import pytest
+
+from repro import api
+from repro.common.statistics import StatGroup
+from repro.telemetry import MetricsSampler, TimeSeries
+
+SEED = 7
+INSTRUCTIONS = 600
+
+
+def make_group():
+    group = StatGroup("system")
+    group.child("core0").counter("committed")
+    group.child("l1d").counter("misses")
+    return group
+
+
+class TestTimeSeries:
+    def test_columns_frozen_at_first_sample_cycle_first(self):
+        group = make_group()
+        series = TimeSeries(group)
+        series.add_gauge("occupancy", lambda: 3)
+        series.sample(100)
+        assert series.columns == ["cycle", "system.core0.committed",
+                                  "system.l1d.misses", "occupancy"]
+        assert len(series) == 1
+        assert series.rows() == [[100, 0, 0, 3]]
+
+    def test_gauge_after_first_sample_rejected(self):
+        series = TimeSeries(make_group())
+        series.sample(1)
+        with pytest.raises(RuntimeError):
+            series.add_gauge("late", lambda: 0)
+
+    def test_series_delta_and_rate(self):
+        group = make_group()
+        committed = group.child("core0").counter("committed")
+        misses = group.child("l1d").counter("misses")
+        series = TimeSeries(group)
+        for cycle, (done, missed) in enumerate(
+                [(100, 4), (300, 4), (600, 10)], start=1):
+            committed.reset()
+            committed.increment(done)
+            misses.reset()
+            misses.increment(missed)
+            series.sample(cycle * 1000)
+        assert series.series("cycle") == [1000, 2000, 3000]
+        assert series.series("system.core0.committed") == [100, 300, 600]
+        # First delta is measured from zero, so deltas sum to the total.
+        assert series.delta("system.core0.committed") == [100, 200, 300]
+        assert series.delta("system.l1d.misses") == [4, 0, 6]
+        mpki = series.rate("system.l1d.misses", "system.core0.committed",
+                           scale=1000)
+        assert mpki == [40.0, 0.0, 20.0]
+
+    def test_rate_is_zero_when_denominator_is_flat(self):
+        group = make_group()
+        series = TimeSeries(group)
+        series.sample(1)
+        series.sample(2)
+        rate = series.rate("system.l1d.misses", "system.core0.committed")
+        assert rate == [0.0, 0.0]
+
+    def test_unknown_column_raises_keyerror(self):
+        series = TimeSeries(make_group())
+        series.sample(1)
+        with pytest.raises(KeyError):
+            series.series("no.such.counter")
+
+    def test_to_csv_round_trips(self, tmp_path):
+        series = TimeSeries(make_group())
+        series.add_gauge("g", lambda: 2.5)
+        series.sample(10)
+        series.sample(20)
+        target = tmp_path / "metrics.csv"
+        text = series.to_csv(target)
+        assert target.read_text() == text
+        lines = text.splitlines()
+        assert lines[0].startswith("cycle,")
+        assert len(lines) == 3
+        assert lines[1].split(",")[0] == "10"
+
+    def test_stat_group_to_timeseries_entry_point(self):
+        series = make_group().to_timeseries()
+        assert isinstance(series, TimeSeries)
+        series.sample(5)
+        assert series.columns[0] == "cycle"
+
+
+class TestMetricsSampler:
+    def test_period_must_be_positive(self):
+        with pytest.raises(ValueError):
+            MetricsSampler(0)
+        with pytest.raises(ValueError):
+            MetricsSampler(-10)
+
+    def test_samples_on_crossing_the_period_mark(self):
+        series = TimeSeries(make_group())
+        sampler = MetricsSampler(100, timeseries=series)
+        for cycle in (10, 64, 99):
+            sampler.on_cycle(cycle)
+        assert len(series) == 0
+        sampler.on_cycle(130)        # crossed 100
+        sampler.on_cycle(180)        # next mark is 200
+        sampler.on_cycle(460)        # crossed it (and more)
+        assert series.series("cycle") == [130, 460]
+
+    def test_finish_records_final_state_once(self):
+        series = TimeSeries(make_group())
+        sampler = MetricsSampler(100, timeseries=series)
+        sampler.on_cycle(150)
+        sampler.finish(150)          # already sampled at 150: no duplicate
+        sampler.finish(175)
+        sampler.finish(175)
+        assert series.series("cycle") == [150, 175]
+
+
+class TestInstrumentedSimulation:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        return api.simulate("mcf", scheme="muontrap", seed=SEED,
+                            instructions=INSTRUCTIONS, warmup_fraction=0.0,
+                            collect_stats=True, metrics_every=500)
+
+    def test_samples_cover_the_run_in_cycle_order(self, outcome):
+        series = outcome.timeseries
+        assert len(series) >= 2
+        cycles = series.series("cycle")
+        assert cycles == sorted(cycles)
+        assert cycles[-1] == outcome.result.cycles
+
+    def test_last_row_equals_end_of_run_totals(self, outcome):
+        series = outcome.timeseries
+        for column in ("system.memory_system.hierarchy.core0.l1d.misses",
+                       "system.core0.committed_instructions"):
+            assert series.series(column)[-1] == outcome.stats[column]
+
+    def test_counters_are_monotone_and_occupancy_gauged(self, outcome):
+        series = outcome.timeseries
+        committed = series.series("system.core0.committed_instructions")
+        assert all(later >= earlier for earlier, later
+                   in zip(committed, committed[1:]))
+        occupancy = series.series("core0.data_filter.occupancy")
+        assert all(value >= 0 for value in occupancy)
+
+    def test_metrics_over_time_figure_entry_point(self):
+        from repro.experiments.figures import metrics_over_time
+        series = metrics_over_time("mcf", "muontrap", every=500, seed=SEED,
+                                   instructions=INSTRUCTIONS)
+        assert len(series) >= 2
+        assert "cycle" in series.columns
