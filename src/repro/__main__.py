@@ -36,7 +36,16 @@ accepts any registered scheme name, ``--machine`` any preset, and
 Environment: ``REPRO_INSTRUCTIONS`` (instructions per workload),
 ``REPRO_JOBS`` (worker count), ``REPRO_STORE`` (result-store directory),
 ``REPRO_LOG`` (structured-log level, e.g. ``INFO``), ``REPRO_PROGRESS``
-(force the live progress line on/off).
+(force the live progress line on/off), ``REPRO_CELL_TIMEOUT`` /
+``REPRO_MAX_RETRIES`` (supervision policy, see ``--cell-timeout`` /
+``--max-retries``), ``REPRO_FAULTS`` (deterministic fault injection for
+chaos testing).
+
+Campaigns are fault tolerant: failed cells are retried, hung or killed
+workers re-dispatched, and permanently failing cells quarantined (the
+report annotates them FAILED).  Results persist as each cell completes,
+so after Ctrl-C or a crash, re-running the same command resumes by
+computing only the missing cells.
 """
 
 from __future__ import annotations
@@ -99,6 +108,8 @@ def _build_campaign(args: argparse.Namespace) -> Campaign:
         replicates=args.replicates,
         store=store,
         jobs=args.jobs,
+        max_retries=args.max_retries,
+        cell_timeout=args.cell_timeout,
     )
 
 
@@ -134,6 +145,17 @@ def _add_matrix_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--jobs", type=int, default=None,
                         help="worker processes "
                              "(default: REPRO_JOBS or all cores)")
+    parser.add_argument("--cell-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="kill and re-dispatch any cell still running "
+                             "after this many seconds (default: "
+                             "REPRO_CELL_TIMEOUT or no timeout; parallel "
+                             "runs only)")
+    parser.add_argument("--max-retries", type=int, default=None,
+                        metavar="N",
+                        help="retries per failed cell before it is "
+                             "quarantined and reported FAILED (default: "
+                             "REPRO_MAX_RETRIES or 2)")
     parser.add_argument("--store", default=None,
                         help="result-store directory "
                              f"(default: REPRO_STORE or {DEFAULT_STORE})")
@@ -192,14 +214,48 @@ def _run_profiled(campaign: Campaign):
     return result
 
 
+def _print_failures(result) -> None:
+    """One line per quarantined cell, after the table (stderr)."""
+    if not result.failures:
+        return
+    print(f"\n{len(result.failures)} cell(s) quarantined after exhausting "
+          f"retries:", file=sys.stderr)
+    for failure in result.failures:
+        print(f"  {failure.benchmark}/{failure.label} seed {failure.seed}: "
+              f"{failure.error} ({failure.attempts} attempts, "
+              f"{failure.seconds:.1f}s)", file=sys.stderr)
+
+
+def _handle_interrupt(campaign: Campaign, fmt: str) -> int:
+    """Ctrl-C / SIGTERM: partial report plus a resume hint, exit 130."""
+    partial = campaign.partial_result()
+    cells = {spec.key() for spec in campaign.cells()}
+    completed = len(partial.runs)
+    print(f"\ninterrupted: {completed}/{len(cells)} unique cells completed",
+          file=sys.stderr)
+    if completed:
+        print(_render(campaign, partial, fmt))
+    if campaign.store is not None:
+        print(f"completed cells are persisted in {campaign.store.root}; "
+              f"re-run the same command to resume from them",
+              file=sys.stderr)
+    else:
+        print("run again with a result store (--store/REPRO_STORE) to make "
+              "interrupted campaigns resumable", file=sys.stderr)
+    return 130
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     _normalise_matrix_defaults(args)
     campaign = _build_campaign(args)
-    if args.profile:
-        PHASES.reset()
-        result = _run_profiled(campaign)
-    else:
-        result = campaign.run()
+    try:
+        if args.profile:
+            PHASES.reset()
+            result = _run_profiled(campaign)
+        else:
+            result = campaign.run()
+    except KeyboardInterrupt:
+        return _handle_interrupt(campaign, args.format)
     stats = result.stats
     print(f"benchmarks: {', '.join(campaign.benchmarks)}")
     print(f"schemes:    {', '.join(campaign.configs)} "
@@ -211,6 +267,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     with phase("report"):
         rendered = _render(campaign, result, args.format)
     print(rendered)
+    _print_failures(result)
     if args.profile:
         print(f"\nphase timers:\n{PHASES.report()}", file=sys.stderr)
     return 0
@@ -219,8 +276,12 @@ def cmd_run(args: argparse.Namespace) -> int:
 def cmd_report(args: argparse.Namespace) -> int:
     _normalise_matrix_defaults(args)
     campaign = _build_campaign(args)
-    result = campaign.run()
+    try:
+        result = campaign.run()
+    except KeyboardInterrupt:
+        return _handle_interrupt(campaign, args.format)
     print(_render(campaign, result, args.format))
+    _print_failures(result)
     return 0
 
 

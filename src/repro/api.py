@@ -425,7 +425,9 @@ def compare(schemes: Union[Sequence[Any], Mapping[str, Any]],
             warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
             collect_stats: bool = False,
             store: Optional[ResultStore] = None,
-            jobs: Optional[int] = None) -> ComparisonOutcome:
+            jobs: Optional[int] = None,
+            max_retries: Optional[int] = None,
+            cell_timeout: Optional[float] = None) -> ComparisonOutcome:
     """Run a suite × scheme matrix normalised against a baseline.
 
     ``schemes`` is a sequence of scheme names and/or machine-likes (series
@@ -434,12 +436,19 @@ def compare(schemes: Union[Sequence[Any], Mapping[str, Any]],
     machine scheme names are applied to (default: the Table 1 machine).
     ``baseline`` follows the same rules (default: the unprotected scheme);
     pass ``None`` to normalise against the first series instead.
+
+    Execution is supervised (:mod:`repro.harness.executor`):
+    ``max_retries`` / ``cell_timeout`` override the ``REPRO_MAX_RETRIES``
+    / ``REPRO_CELL_TIMEOUT`` defaults; cells that fail permanently are
+    quarantined on ``outcome.result.failures`` rather than aborting the
+    matrix.
     """
     campaign = build_comparison(
         schemes, suite, machine=machine, baseline=baseline,
         instructions=instructions, seed=seed, replicates=replicates,
         warmup_fraction=warmup_fraction, collect_stats=collect_stats,
-        store=store, jobs=jobs)
+        store=store, jobs=jobs, max_retries=max_retries,
+        cell_timeout=cell_timeout)
     return ComparisonOutcome(campaign=campaign, result=campaign.run())
 
 
@@ -455,7 +464,9 @@ def build_comparison(schemes: Union[Sequence[Any], Mapping[str, Any]],
                      collect_stats: bool = False,
                      store: Optional[ResultStore] = None,
                      jobs: Optional[int] = None,
-                     cache: Optional[Dict[str, SimulationResult]] = None
+                     cache: Optional[Dict[str, SimulationResult]] = None,
+                     max_retries: Optional[int] = None,
+                     cell_timeout: Optional[float] = None
                      ) -> Campaign:
     """The :class:`Campaign` behind :func:`compare`, not yet executed.
 
@@ -475,7 +486,8 @@ def build_comparison(schemes: Union[Sequence[Any], Mapping[str, Any]],
         suites, configs=configs, baseline_config=baseline_config,
         baseline_label=baseline_label, instructions=instructions,
         seed=seed, replicates=replicates, warmup_fraction=warmup_fraction,
-        collect_stats=collect_stats, store=store, jobs=jobs, cache=cache)
+        collect_stats=collect_stats, store=store, jobs=jobs, cache=cache,
+        max_retries=max_retries, cell_timeout=cell_timeout)
 
 
 def _replace_path(config: Any, path: str, value: Any) -> Any:

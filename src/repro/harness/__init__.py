@@ -6,12 +6,20 @@ The harness layers on top of :mod:`repro.sim`:
   (``spec_int``, ``spec_fp``, ``spec_all``, ``parsec``, ``mixed``, plus
   user-registered suites);
 * :mod:`repro.harness.campaign` — expansion of suites × configurations ×
-  seeds into a run matrix, executed on a ``multiprocessing`` pool with
-  deterministic results;
+  seeds into a run matrix, executed through the supervised executor layer
+  with deterministic results;
+* :mod:`repro.harness.executor` — supervised cell execution:
+  :class:`SerialExecutor` / :class:`PoolExecutor` with per-cell timeouts,
+  bounded deterministic retries, dead-worker re-dispatch and quarantine
+  of permanently failing cells;
+* :mod:`repro.harness.faults` — deterministic, seed-driven fault
+  injection (``REPRO_FAULTS``) used by the chaos test tier to prove the
+  fault-tolerance invariants;
 * :mod:`repro.harness.store` — a persistent JSON result store keyed by a
-  stable content hash, making repeated campaigns incremental;
+  stable content hash, with atomic integrity-checked writes, making
+  repeated campaigns incremental and crash-safe;
 * :mod:`repro.harness.report` — text / markdown / CSV tables with
-  geometric means.
+  geometric means (quarantined cells annotated as FAILED).
 
 The ``python -m repro`` command line (:mod:`repro.__main__`) exposes the
 harness as ``run`` / ``report`` / ``clean`` subcommands.
@@ -26,6 +34,21 @@ from repro.harness.campaign import (
     derive_seed,
     execute_cells,
     run_cell,
+)
+from repro.harness.executor import (
+    CellExecutionError,
+    Executor,
+    FailedCell,
+    PoolExecutor,
+    SerialExecutor,
+)
+from repro.harness.faults import (
+    FaultPlan,
+    FaultSpec,
+    FaultSpecError,
+    InjectedFault,
+    active_fault_plan,
+    parse_fault_specs,
 )
 from repro.harness.report import Report
 from repro.harness.store import (
@@ -49,17 +72,28 @@ from repro.harness.suites import (
 __all__ = [
     "Campaign",
     "CampaignResult",
+    "CellExecutionError",
     "DEFAULT_SEED",
     "ExecutionStats",
+    "Executor",
+    "FailedCell",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultSpecError",
+    "InjectedFault",
+    "PoolExecutor",
     "Report",
     "ResultStore",
     "RunSpec",
     "SPEC_FP",
     "SPEC_INT",
+    "SerialExecutor",
     "UnknownSuiteError",
+    "active_fault_plan",
     "config_fingerprint",
     "derive_seed",
     "execute_cells",
+    "parse_fault_specs",
     "register_suite",
     "resolve_suite",
     "resolve_suites",

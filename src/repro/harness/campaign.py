@@ -17,11 +17,19 @@ Three properties make campaigns practical for paper-scale sweeps:
 * **Incrementality** — when a :class:`~repro.harness.store.ResultStore`
   is attached, completed cells are persisted and skipped on re-runs, so
   extending a sweep only simulates the new cells.
+* **Fault tolerance** — cells run through the supervised executor layer
+  (:mod:`repro.harness.executor`): failed cells are retried with bounded
+  deterministic backoff, hung or killed workers are detected and their
+  cells re-dispatched, and cells that exhaust their retries are
+  quarantined as :class:`~repro.harness.executor.FailedCell` records on
+  :attr:`CampaignResult.failures` instead of aborting the sweep.
+  Results are persisted as each cell completes, so interrupting or
+  crashing a campaign loses at most the cells in flight — re-running the
+  same command resumes by computing only the missing cells.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import os
 import sys
 import time
@@ -30,6 +38,14 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.common.params import SystemConfig
 from repro.common.statistics import geometric_mean
+from repro.harness.executor import (
+    CellExecutionError,
+    Executor,
+    FailedCell,
+    PoolExecutor,
+    SerialExecutor,
+)
+from repro.harness.faults import active_fault_plan
 from repro.harness.store import ResultStore, stable_key
 from repro.sim.runner import (
     DEFAULT_WARMUP_FRACTION,
@@ -107,17 +123,6 @@ def run_cell(spec: RunSpec) -> SimulationResult:
                              warmup_fraction=spec.warmup_fraction)
 
 
-def _run_cell_timed(spec: RunSpec) -> Tuple[SimulationResult, float]:
-    """Pool-side wrapper: the result plus its wall-clock seconds.
-
-    The per-cell duration is measured inside the worker, so the aggregate
-    ``executed_seconds`` reflects simulation work, not pool scheduling.
-    """
-    started = time.perf_counter()
-    result = run_cell(spec)
-    return result, time.perf_counter() - started
-
-
 @dataclass
 class ExecutionStats:
     """Where each requested cell came from, and what executing cost.
@@ -136,6 +141,14 @@ class ExecutionStats:
     executed_seconds: float = 0.0
     wall_seconds: float = 0.0
     workers: int = 1
+    #: Supervision accounting (see :mod:`repro.harness.executor`):
+    #: re-dispatches of failed cells, per-cell timeouts fired, worker
+    #: processes that died and were replaced, and cells quarantined after
+    #: exhausting their retries.
+    retries: int = 0
+    timeouts: int = 0
+    worker_restarts: int = 0
+    failed: int = 0
 
     @property
     def total(self) -> int:
@@ -164,6 +177,11 @@ class ExecutionStats:
             text += (f"; {self.executed_seconds:.2f}s simulated work in "
                      f"{self.wall_seconds:.2f}s wall on {self.workers} "
                      f"worker(s), {self.worker_utilisation:.0%} utilisation")
+        if self.retries or self.timeouts or self.worker_restarts \
+                or self.failed:
+            text += (f"; supervision: {self.retries} retries, "
+                     f"{self.timeouts} timeouts, {self.worker_restarts} "
+                     f"worker restarts, {self.failed} quarantined")
         return text
 
 
@@ -172,18 +190,34 @@ def execute_cells(specs: Sequence[RunSpec], *,
                   store: Optional[ResultStore] = None,
                   cache: Optional[Dict[str, SimulationResult]] = None,
                   stats: Optional[ExecutionStats] = None,
-                  progress: Optional[ProgressCallback] = None
+                  progress: Optional[ProgressCallback] = None,
+                  executor: Optional[Executor] = None,
+                  max_retries: Optional[int] = None,
+                  cell_timeout: Optional[float] = None,
+                  failures: Optional[List[FailedCell]] = None
                   ) -> Dict[str, SimulationResult]:
     """Execute cells, consulting the in-memory cache and result store.
 
     Returns a mapping from cell key to result covering every spec.  Cells
-    missing from both caches run on a ``multiprocessing`` pool when
-    ``jobs > 1`` (in submission order otherwise); results land back in
-    both caches.  The output is independent of the worker count.
+    missing from both caches run through the supervised executor layer
+    (:mod:`repro.harness.executor`): a :class:`PoolExecutor` when
+    ``jobs > 1``, a :class:`SerialExecutor` otherwise, or any
+    ``executor`` passed explicitly.  Results land back in both caches —
+    the store is written *as each cell completes*, so an interrupted run
+    resumes from everything that finished.  The output is independent of
+    the worker count, and of how many retries, timeouts or worker deaths
+    occurred along the way.
+
+    ``max_retries`` / ``cell_timeout`` configure the default executors
+    (falling back to ``REPRO_MAX_RETRIES`` / ``REPRO_CELL_TIMEOUT``).
+    Cells that fail permanently are appended to ``failures`` when a list
+    is given; without one, a :class:`CellExecutionError` is raised after
+    the surviving cells have completed (preserving the historical
+    fail-fast contract for single-cell callers).
 
     ``progress`` (if given) is called with ``(done, total)`` over the
     *unique* cells: once up front for everything the caches satisfied,
-    then once per finished simulation.
+    then once per finished (or quarantined) simulation.
     """
     jobs = parallel_jobs(default=None) if jobs is None else max(1, jobs)
     stats = stats if stats is not None else ExecutionStats()
@@ -210,50 +244,34 @@ def execute_cells(specs: Sequence[RunSpec], *,
         pending_keys.add(key)
 
     total = len(results) + len(pending)
-    done = len(results)
+    progress_state = {"done": len(results)}
     if progress is not None:
-        progress(done, total)
+        progress(progress_state["done"], total)
 
+    failed_cells: List[FailedCell] = []
     if pending:
         stats.executed += len(pending)
-        todo = [spec for _, spec in pending]
-        workers = min(jobs, len(todo)) if jobs > 1 and len(todo) > 1 else 1
+        workers = (min(jobs, len(pending))
+                   if jobs > 1 and len(pending) > 1 else 1)
         stats.workers = max(stats.workers, workers)
-        log_event(logger, "execute_start", cells=len(todo), cached=done,
-                  workers=workers)
-        if workers > 1:
-            try:
-                context = multiprocessing.get_context("fork")
-            except ValueError:
-                context = multiprocessing.get_context()
-            with context.Pool(processes=workers) as pool:
-                outcomes = []
-                for (key, spec), (result, seconds) in zip(
-                        pending,
-                        pool.imap(_run_cell_timed, todo, chunksize=1)):
-                    outcomes.append(result)
-                    stats.executed_seconds += seconds
-                    done += 1
-                    log_event(logger, "cell_done", benchmark=spec.benchmark,
-                              label=spec.label, seed=spec.seed,
-                              seconds=f"{seconds:.2f}")
-                    if progress is not None:
-                        progress(done, total)
-        else:
-            outcomes = []
-            for key, spec in pending:
-                result, seconds = _run_cell_timed(spec)
-                outcomes.append(result)
-                stats.executed_seconds += seconds
-                done += 1
-                log_event(logger, "cell_done", benchmark=spec.benchmark,
-                          label=spec.label, seed=spec.seed,
-                          seconds=f"{seconds:.2f}")
-                if progress is not None:
-                    progress(done, total)
-        for (key, spec), result in zip(pending, outcomes):
+        if executor is None:
+            executor = (PoolExecutor(workers, max_retries=max_retries,
+                                     cell_timeout=cell_timeout)
+                        if workers > 1
+                        else SerialExecutor(max_retries=max_retries,
+                                            cell_timeout=cell_timeout))
+        log_event(logger, "execute_start", cells=len(pending),
+                  cached=progress_state["done"], workers=workers,
+                  executor=type(executor).__name__)
+        fault_plan = active_fault_plan()
+
+        def on_complete(key: str, spec: RunSpec, result: SimulationResult,
+                        seconds: float) -> None:
             results[key] = result
+            stats.executed_seconds += seconds
             if store is not None:
+                # Persist immediately: a later crash or interrupt loses at
+                # most the cells still in flight.
                 store.put(key, result, metadata={
                     "benchmark": spec.benchmark,
                     "label": spec.label,
@@ -261,14 +279,56 @@ def execute_cells(specs: Sequence[RunSpec], *,
                     "instructions": spec.instructions,
                     "seed": spec.seed,
                 })
+                if fault_plan is not None:
+                    fault_plan.corrupt_store_entry(store, key)
+            progress_state["done"] += 1
+            log_event(logger, "cell_done", benchmark=spec.benchmark,
+                      label=spec.label, seed=spec.seed,
+                      seconds=f"{seconds:.2f}")
+            if progress is not None:
+                progress(progress_state["done"], total)
+
+        def on_failure(failure: FailedCell) -> None:
+            failed_cells.append(failure)
+            progress_state["done"] += 1
+            if progress is not None:
+                progress(progress_state["done"], total)
+
+        try:
+            executor.execute(pending, stats=stats, on_complete=on_complete,
+                             on_failure=on_failure)
+        except KeyboardInterrupt:
+            if isinstance(progress, _ProgressLine):
+                progress.interrupt()
+            stats.wall_seconds += time.perf_counter() - started
+            log_event(logger, "execute_interrupted",
+                      completed=progress_state["done"], total=total)
+            raise
 
     if cache is not None:
         cache.update(results)
+    # Deterministic iteration order regardless of completion order: rebuild
+    # the mapping in first-seen spec order.
+    ordered: Dict[str, SimulationResult] = {}
+    for spec in specs:
+        key = spec.key()
+        if key in results and key not in ordered:
+            ordered[key] = results[key]
+    results = ordered
     stats.wall_seconds += time.perf_counter() - started
     if pending:
         log_event(logger, "execute_done", executed=stats.executed,
                   store_hits=stats.store_hits, memory_hits=stats.memory_hits,
+                  failed=stats.failed, retries=stats.retries,
                   wall=f"{stats.wall_seconds:.2f}")
+    if failed_cells:
+        # Quarantine order follows the submission order, not the
+        # nondeterministic completion order.
+        submitted = {key: index for index, (key, _) in enumerate(pending)}
+        failed_cells.sort(key=lambda cell: submitted.get(cell.key, 0))
+        if failures is None:
+            raise CellExecutionError(failed_cells)
+        failures.extend(failed_cells)
     return results
 
 
@@ -295,10 +355,18 @@ class _ProgressLine:
     def __call__(self, done: int, total: int) -> None:
         elapsed = time.perf_counter() - self._started
         percent = (100 * done // total) if total else 100
+        self._done, self._total = done, total
         self._stream.write(f"\rcells {done}/{total} ({percent}%) "
                            f"{elapsed:.1f}s")
         if done >= total:
             self._stream.write("\n")
+        self._stream.flush()
+
+    def interrupt(self) -> None:
+        """End the live line cleanly on interruption (no dirty ``\\r``)."""
+        done = getattr(self, "_done", 0)
+        total = getattr(self, "_total", 0)
+        self._stream.write(f"\rcells {done}/{total} — interrupted\n")
         self._stream.flush()
 
 
@@ -312,11 +380,30 @@ class CampaignResult:
     seeds: List[int]
     runs: Dict[Tuple[str, str, int], SimulationResult]
     stats: ExecutionStats = field(default_factory=ExecutionStats)
+    #: Cells quarantined by the executor layer (exhausted retries).  The
+    #: sweep completed without them; normalisation and geomeans cover the
+    #: completed cells only, and reports annotate the gaps as FAILED.
+    failures: List[FailedCell] = field(default_factory=list)
 
     def result(self, benchmark: str, label: str,
                seed: Optional[int] = None) -> SimulationResult:
         seed = self.seeds[0] if seed is None else seed
-        return self.runs[(benchmark, label, seed)]
+        try:
+            return self.runs[(benchmark, label, seed)]
+        except KeyError:
+            for failure in self.failures:
+                if (failure.benchmark, failure.label,
+                        failure.seed) == (benchmark, label, seed):
+                    raise KeyError(
+                        f"cell ({benchmark}, {label}, seed {seed}) was "
+                        f"quarantined after {failure.attempts} attempt(s): "
+                        f"{failure.error}") from None
+            raise
+
+    def failed_series(self) -> set:
+        """The ``(benchmark, label)`` pairs with at least one failed seed."""
+        return {(failure.benchmark, failure.label)
+                for failure in self.failures}
 
     def normalised(self) -> Dict[str, Dict[str, float]]:
         """label -> {benchmark -> execution time normalised to baseline}.
@@ -327,6 +414,10 @@ class CampaignResult:
         cycles / baseline cycles, while heterogeneous-frequency machines
         (big.LITTLE) are credited for their faster clocks.  With several
         replicates the per-seed ratios are averaged.
+
+        Quarantined cells simply contribute no ratio: a benchmark whose
+        every seed failed (in the series or in the baseline) is omitted
+        from that series, and reports annotate the gap as FAILED.
         """
         series: Dict[str, Dict[str, float]] = {}
         for label in self.labels:
@@ -336,12 +427,15 @@ class CampaignResult:
             for benchmark in self.benchmarks:
                 ratios = []
                 for seed in self.seeds:
-                    baseline = self.runs[(benchmark, self.baseline_label,
-                                          seed)]
-                    run = self.runs[(benchmark, label, seed)]
+                    baseline = self.runs.get((benchmark, self.baseline_label,
+                                              seed))
+                    run = self.runs.get((benchmark, label, seed))
+                    if baseline is None or run is None:
+                        continue
                     ratios.append(run.time / baseline.time
                                   if baseline.time else 0.0)
-                values[benchmark] = sum(ratios) / len(ratios)
+                if ratios:
+                    values[benchmark] = sum(ratios) / len(ratios)
             series[label] = values
         return series
 
@@ -375,9 +469,11 @@ class CampaignResult:
         # The baseline split is identical for every label; compute it once
         # per (benchmark, seed) rather than inside the label loop.
         baseline_parts = {
-            (benchmark, seed): self.runs[(benchmark, self.baseline_label,
-                                          seed)].per_benchmark()
-            for benchmark in self.benchmarks for seed in self.seeds}
+            (benchmark, seed): run.per_benchmark()
+            for benchmark in self.benchmarks for seed in self.seeds
+            for run in [self.runs.get((benchmark, self.baseline_label,
+                                       seed))]
+            if run is not None}
         series: Dict[str, Dict[str, float]] = {}
         for label in self.labels:
             if label == self.baseline_label:
@@ -385,9 +481,11 @@ class CampaignResult:
             values: Dict[str, List[float]] = {}
             for benchmark in self.benchmarks:
                 for seed in self.seeds:
-                    baseline = self.runs[(benchmark, self.baseline_label,
-                                          seed)]
-                    run = self.runs[(benchmark, label, seed)]
+                    baseline = self.runs.get((benchmark, self.baseline_label,
+                                              seed))
+                    run = self.runs.get((benchmark, label, seed))
+                    if baseline is None or run is None:
+                        continue
                     if run.is_corun:
                         base_parts = baseline_parts[(benchmark, seed)]
                         for member, part in run.per_benchmark().items():
@@ -425,7 +523,10 @@ class Campaign:
                  collect_stats: bool = False,
                  store: Optional[ResultStore] = None,
                  jobs: Optional[int] = None,
-                 cache: Optional[Dict[str, SimulationResult]] = None
+                 cache: Optional[Dict[str, SimulationResult]] = None,
+                 max_retries: Optional[int] = None,
+                 cell_timeout: Optional[float] = None,
+                 executor: Optional[Executor] = None
                  ) -> None:
         if not benchmarks:
             raise ValueError("campaign needs at least one benchmark")
@@ -445,6 +546,12 @@ class Campaign:
         self.collect_stats = collect_stats
         self.store = store
         self.jobs = jobs
+        # Supervision policy (None = the REPRO_MAX_RETRIES /
+        # REPRO_CELL_TIMEOUT environment defaults); an explicit executor
+        # overrides the jobs-based choice entirely.
+        self.max_retries = max_retries
+        self.cell_timeout = cell_timeout
+        self.executor = executor
         # An external cache (e.g. an ExperimentRunner's) may be shared so
         # several campaigns reuse each other's in-memory results.
         self._cache: Dict[str, SimulationResult] = \
@@ -494,12 +601,48 @@ class Campaign:
             progress = _ProgressLine()
         stats = ExecutionStats()
         specs = self.cells()
+        failures: List[FailedCell] = []
         results = execute_cells(specs, jobs=self.jobs, store=self.store,
                                 cache=self._cache, stats=stats,
-                                progress=progress)
+                                progress=progress, executor=self.executor,
+                                max_retries=self.max_retries,
+                                cell_timeout=self.cell_timeout,
+                                failures=failures)
+        return self._index_results(results, stats, failures)
+
+    def partial_result(self) -> CampaignResult:
+        """Index whatever the caches already hold, executing nothing.
+
+        This is how an interrupted run reports the cells that completed
+        (they were persisted as they finished): collect the cached subset,
+        render a partial table, and leave the missing cells for the next
+        invocation to compute.
+        """
+        results: Dict[str, SimulationResult] = {}
+        for spec in self.cells():
+            key = spec.key()
+            if key in results:
+                continue
+            if key in self._cache:
+                results[key] = self._cache[key]
+            elif self.store is not None:
+                stored = self.store.get(key)
+                if stored is not None:
+                    results[key] = stored
+        indexed = self._index_results(results, ExecutionStats(), [])
+        # A partial table only shows rows with data; benchmarks whose
+        # every cell is still missing would render as all-zero noise.
+        present = {benchmark for benchmark, _, _ in indexed.runs}
+        indexed.benchmarks = [benchmark for benchmark in indexed.benchmarks
+                              if benchmark in present]
+        return indexed
+
+    def _index_results(self, results: Dict[str, SimulationResult],
+                       stats: ExecutionStats,
+                       failures: List[FailedCell]) -> CampaignResult:
         series = self._series()
         runs = {(spec.benchmark, spec.label, spec.seed): results[spec.key()]
-                for spec in specs}
+                for spec in self.cells() if spec.key() in results}
         labels = [label for label in series if label != self.baseline_label]
         baseline_label = (self.baseline_label
                           if self.baseline_config is not None
@@ -507,4 +650,4 @@ class Campaign:
         return CampaignResult(
             benchmarks=list(self.benchmarks), labels=list(series),
             baseline_label=baseline_label, seeds=self.seeds, runs=runs,
-            stats=stats)
+            stats=stats, failures=failures)

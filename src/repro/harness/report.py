@@ -11,12 +11,15 @@ from __future__ import annotations
 import csv
 import io
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.common.statistics import geometric_mean
 from repro.harness.campaign import CampaignResult, ExecutionStats
 
 GEOMEAN_ROW = "geomean"
+
+#: The annotation rendered in place of a value whose cell was quarantined.
+FAILED_CELL = "FAILED"
 
 
 @dataclass
@@ -31,6 +34,11 @@ class Report:
     precision: int = 3
     #: Optional execution accounting; rendered as a footnote when present.
     stats: Optional[ExecutionStats] = None
+    #: ``(benchmark, label)`` pairs whose cells were quarantined by the
+    #: executor layer; rendered as ``FAILED`` instead of a value.  The
+    #: geomean footer always covers the completed cells only (missing
+    #: values never contribute).
+    failed: Set[Tuple[str, str]] = field(default_factory=set)
 
     def __post_init__(self) -> None:
         if not self.geomeans:
@@ -47,7 +55,8 @@ class Report:
         return cls(benchmarks=list(result.benchmarks),
                    series=result.normalised(),
                    title=title, precision=precision,
-                   stats=result.stats if include_stats else None)
+                   stats=result.stats if include_stats else None,
+                   failed=result.failed_series())
 
     @classmethod
     def from_campaign_constituents(cls, result: CampaignResult,
@@ -75,19 +84,34 @@ class Report:
             if row.split(":", 1)[0] in result.benchmarks else len(
                 result.benchmarks)))
         return cls(benchmarks=rows, series=series, title=title,
-                   precision=precision)
+                   precision=precision, failed=result.failed_series())
 
     # -- table construction ---------------------------------------------------
     @property
     def labels(self) -> List[str]:
         return list(self.series)
 
+    def _cell(self, benchmark: str, label: str, fmt: str) -> str:
+        value = self.series[label].get(benchmark)
+        if value is not None:
+            return fmt.format(value)
+        # Missing value: a quarantined cell renders as FAILED (mix rows
+        # check their parent mix's quarantine record); anything else keeps
+        # the historical zero so sparse hand-built series still render.
+        base = benchmark.split(":", 1)[0]
+        if (benchmark, label) in self.failed or (base, label) in self.failed:
+            return FAILED_CELL
+        return fmt.format(0.0)
+
     def rows(self) -> List[List[str]]:
-        """Header row, one row per benchmark, geomean footer."""
+        """Header row, one row per benchmark, geomean footer.
+
+        Quarantined cells render as ``FAILED``; the geomean footer is
+        computed over the completed cells only.
+        """
         fmt = f"{{:.{self.precision}f}}"
         header = ["benchmark"] + self.labels
-        body = [[benchmark] + [fmt.format(self.series[label].get(benchmark,
-                                                                 0.0))
+        body = [[benchmark] + [self._cell(benchmark, label, fmt)
                                for label in self.labels]
                 for benchmark in self.benchmarks]
         footer = [GEOMEAN_ROW] + [fmt.format(self.geomeans.get(label, 0.0))

@@ -13,6 +13,14 @@ of its inputs.  Results are written as one JSON file per cell, so
 The simulator itself is deterministic, which is what makes caching by input
 hash sound: the same (profile, config, instructions, seed) always produces
 the same :class:`~repro.sim.simulator.SimulationResult`.
+
+The store is also the campaign harness's crash-safety anchor: writes are
+atomic (a per-process-unique temporary file renamed into place with
+``os.replace``, optionally fsynced via ``REPRO_STORE_FSYNC=1``), every
+entry carries a sha256 integrity digest of its result payload, and reads
+*evict* corrupt or torn entries instead of silently returning ``None`` —
+so after any crash, re-running a campaign recomputes exactly the missing
+or damaged cells and nothing else.
 """
 
 from __future__ import annotations
@@ -20,7 +28,9 @@ from __future__ import annotations
 import dataclasses
 import enum
 import hashlib
+import itertools
 import json
+import logging
 import os
 from pathlib import Path
 from typing import Any, Dict, Iterator, Optional
@@ -28,11 +38,22 @@ from typing import Any, Dict, Iterator, Optional
 from repro.common.params import SystemConfig
 from repro.cpu.core import CoreResult
 from repro.sim.simulator import SimulationResult
+from repro.telemetry.log import get_logger, log_event
 from repro.workloads.profiles import WorkloadProfile
 
 #: Bump when the serialised result layout changes; stale entries are ignored.
 #: v2: results carry per-core clock frequencies (frequency-scaled times).
-STORE_VERSION = 2
+#: v3: entries carry a sha256 integrity digest of the result payload, so
+#: torn writes are detected and evicted rather than half-trusted.
+STORE_VERSION = 3
+
+#: Environment variable: truthy values fsync entries before rename (and the
+#: directory after), trading write latency for power-loss durability.
+STORE_FSYNC_ENV = "REPRO_STORE_FSYNC"
+
+#: Distinguishes temporary files written by concurrent threads of one
+#: process; the pid distinguishes processes.
+_TMP_COUNTER = itertools.count()
 
 
 def _jsonable(value: Any) -> Any:
@@ -115,14 +136,36 @@ def result_from_dict(payload: Dict[str, Any]) -> SimulationResult:
     )
 
 
-class ResultStore:
-    """A directory of per-cell JSON result files."""
+def result_digest(result_payload: Dict[str, Any]) -> str:
+    """The integrity digest stored beside (and verified against) a result."""
+    canonical = json.dumps(result_payload, sort_keys=True,
+                           separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
-    def __init__(self, root: os.PathLike) -> None:
+
+def _fsync_enabled() -> bool:
+    raw = os.environ.get(STORE_FSYNC_ENV, "").strip().lower()
+    return raw in ("1", "true", "yes", "on")
+
+
+class ResultStore:
+    """A directory of per-cell JSON result files.
+
+    ``fsync=True`` (or ``REPRO_STORE_FSYNC=1``) makes each write durable
+    against power loss, not just process crashes; the default relies on
+    ``os.replace`` atomicity alone, which is what the integrity digest in
+    each entry backstops — a torn write is detected and evicted on read.
+    """
+
+    def __init__(self, root: os.PathLike,
+                 fsync: Optional[bool] = None) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.fsync = _fsync_enabled() if fsync is None else fsync
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self._logger = get_logger("harness.store")
 
     def _path(self, key: str) -> Path:
         return self.root / f"{key}.json"
@@ -137,33 +180,102 @@ class ResultStore:
         for path in sorted(self.root.glob("*.json")):
             yield path.stem
 
+    def _evict(self, key: str, reason: str) -> None:
+        """Delete a damaged entry so it cannot fail again on every run."""
+        try:
+            self._path(key).unlink()
+        except OSError:
+            return
+        self.evictions += 1
+        log_event(self._logger, "store_evicted", _level=logging.WARNING,
+                  key=key, reason=reason)
+
     def get(self, key: str) -> Optional[SimulationResult]:
-        """Load a cached result, or ``None`` on miss / stale entry."""
+        """Load a cached result, or ``None`` on miss / stale entry.
+
+        Corrupt entries — unparseable JSON, a missing or mismatching
+        integrity digest, an undecodable result payload — are *evicted*
+        (deleted, with a logged warning), so the next campaign run
+        recomputes the cell instead of tripping over the damage forever.
+        Entries from older store versions are merely skipped.
+        """
         path = self._path(key)
         try:
             payload = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError):
+        except OSError:
             self.misses += 1
             return None
-        if payload.get("version") != STORE_VERSION:
+        except json.JSONDecodeError:
+            self._evict(key, "unparseable-json")
+            self.misses += 1
+            return None
+        if not isinstance(payload, dict) \
+                or payload.get("version") != STORE_VERSION:
+            self.misses += 1
+            return None
+        result_payload = payload.get("result")
+        if not isinstance(result_payload, dict) \
+                or payload.get("sha256") != result_digest(result_payload):
+            self._evict(key, "integrity-mismatch")
+            self.misses += 1
+            return None
+        try:
+            result = result_from_dict(result_payload)
+        except (KeyError, TypeError, ValueError):
+            self._evict(key, "undecodable-result")
             self.misses += 1
             return None
         self.hits += 1
-        return result_from_dict(payload["result"])
+        return result
 
     def put(self, key: str, result: SimulationResult,
             metadata: Optional[Dict[str, Any]] = None) -> None:
-        """Persist one result atomically (write-then-rename)."""
+        """Persist one result atomically (unique tmp file, then rename).
+
+        The temporary name embeds the pid and a per-process counter, so
+        concurrent workers (or threads) writing the same key never collide
+        on the intermediate file; ``os.replace`` makes the last writer
+        win atomically.  With :attr:`fsync` enabled the entry is synced
+        before the rename and the directory after it.
+        """
+        result_payload = result_to_dict(result)
         payload = {
             "version": STORE_VERSION,
             "key": key,
             "metadata": metadata or {},
-            "result": result_to_dict(result),
+            "result": result_payload,
+            "sha256": result_digest(result_payload),
         }
         path = self._path(key)
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(json.dumps(payload, sort_keys=True, indent=1))
-        tmp.replace(path)
+        tmp = self.root / (f".{key}.{os.getpid()}."
+                           f"{next(_TMP_COUNTER)}.tmp")
+        try:
+            with tmp.open("w") as handle:
+                handle.write(json.dumps(payload, sort_keys=True, indent=1))
+                if self.fsync:
+                    handle.flush()
+                    os.fsync(handle.fileno())
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
+            raise
+        if self.fsync:
+            self._fsync_dir()
+
+    def _fsync_dir(self) -> None:
+        try:
+            fd = os.open(self.root, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(fd)
+        except OSError:
+            pass
+        finally:
+            os.close(fd)
 
     def metadata(self, key: str) -> Dict[str, Any]:
         try:
@@ -173,9 +285,18 @@ class ResultStore:
         return payload.get("metadata", {})
 
     def clear(self) -> int:
-        """Delete every stored result; returns the number removed."""
+        """Delete every stored result; returns the number removed.
+
+        Stray temporary files (from writers that crashed mid-``put``) are
+        swept too, without counting towards the total.
+        """
         removed = 0
         for path in self.root.glob("*.json"):
             path.unlink()
             removed += 1
+        for path in self.root.glob(".*.tmp"):
+            try:
+                path.unlink()
+            except OSError:
+                pass
         return removed

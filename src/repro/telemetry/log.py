@@ -54,9 +54,16 @@ def get_logger(name: str = "") -> logging.Logger:
     return logging.getLogger(qualified)
 
 
-def log_event(logger: logging.Logger, event: str, **fields: Any) -> None:
-    """Log one structured ``event key=value ...`` line at INFO level."""
-    if not logger.isEnabledFor(logging.INFO):
+def log_event(logger: logging.Logger, event: str,
+              _level: int = logging.INFO, **fields: Any) -> None:
+    """Log one structured ``event key=value ...`` line.
+
+    ``_level`` defaults to INFO (the harness's narration level); pass
+    ``logging.WARNING`` for events that should surface even under the
+    default ``REPRO_LOG`` setting — evicted store entries, retried cells,
+    quarantined failures.
+    """
+    if not logger.isEnabledFor(_level):
         return
     rendered = " ".join(f"{key}={fields[key]}" for key in fields)
-    logger.info("%s %s" % (event, rendered) if rendered else event)
+    logger.log(_level, "%s %s" % (event, rendered) if rendered else event)

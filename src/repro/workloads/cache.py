@@ -25,13 +25,16 @@ from __future__ import annotations
 import dataclasses
 import enum
 import hashlib
+import itertools
 import json
+import logging
 import os
 import pickle
 from collections import OrderedDict
 from pathlib import Path
 from typing import Any, Optional
 
+from repro.telemetry.log import get_logger, log_event
 from repro.workloads.profiles import WorkloadProfile
 from repro.workloads.trace import WorkloadTraces
 
@@ -47,6 +50,10 @@ TRACE_CACHE_VERSION = 1
 MEMORY_ENTRIES = 8
 
 _DISABLED_VALUES = frozenset({"off", "none", "0", "disabled", "false"})
+
+#: Distinguishes temporary files written by concurrent threads of one
+#: process; the pid distinguishes processes.
+_TMP_COUNTER = itertools.count()
 
 
 def _jsonable(value: Any) -> Any:
@@ -107,9 +114,21 @@ class TraceCache:
             try:
                 with path.open("rb") as handle:
                     payload = pickle.load(handle)
-            except (OSError, pickle.UnpicklingError, EOFError,
-                    AttributeError, ImportError):
+            except FileNotFoundError:
                 payload = None
+            except (OSError, pickle.UnpicklingError, EOFError,
+                    AttributeError, ImportError, IndexError,
+                    ValueError) as error:
+                # A corrupt on-disk entry would otherwise fail again on
+                # every run; evict it so the next put rewrites it cleanly.
+                payload = None
+                try:
+                    path.unlink(missing_ok=True)
+                except OSError:
+                    pass
+                log_event(get_logger("workloads.cache"),
+                          "trace_cache_evicted", _level=logging.WARNING,
+                          key=key, reason=type(error).__name__)
             if (isinstance(payload, dict)
                     and payload.get("version") == TRACE_CACHE_VERSION):
                 workload = payload["workload"]
@@ -126,11 +145,15 @@ class TraceCache:
             return
         payload = {"version": TRACE_CACHE_VERSION, "key": key,
                    "workload": workload}
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        # Unique per (process, thread-interleaving) so concurrent writers
+        # of the same key never collide on the intermediate file; the
+        # leading dot keeps it out of the ``*.pkl`` globs.
+        tmp = (self.root / f".{key}.{os.getpid()}."
+                           f"{next(_TMP_COUNTER)}.tmp")
         try:
             with tmp.open("wb") as handle:
                 pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
-            tmp.replace(path)
+            os.replace(tmp, path)
         except OSError:
             # A full or read-only disk must not break simulation.
             try:
@@ -152,6 +175,11 @@ class TraceCache:
             for path in self.root.glob("*.pkl"):
                 path.unlink()
                 removed += 1
+            for path in self.root.glob(".*.tmp"):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
         return removed
 
     def __len__(self) -> int:

@@ -6,7 +6,9 @@ import json
 from repro.common.params import ProtectionMode, SystemConfig
 from repro.cpu.core import CoreResult
 from repro.harness.store import (
+    STORE_FSYNC_ENV,
     ResultStore,
+    result_digest,
     result_from_dict,
     result_to_dict,
     stable_key,
@@ -83,12 +85,15 @@ class TestRoundTrip:
         store.get("k")
         assert store.hits == 2
 
-    def test_corrupt_entry_is_a_miss(self, tmp_path):
+    def test_corrupt_entry_is_a_miss_and_is_evicted(self, tmp_path):
         store = ResultStore(tmp_path)
         (tmp_path / "bad.json").write_text("{not json")
         assert store.get("bad") is None
+        # Evicted, not skipped: the damage cannot recur on every run.
+        assert not (tmp_path / "bad.json").exists()
+        assert store.evictions == 1
 
-    def test_stale_version_is_a_miss(self, tmp_path):
+    def test_stale_version_is_a_miss_but_not_evicted(self, tmp_path):
         store = ResultStore(tmp_path)
         store.put("k", make_result())
         path = tmp_path / "k.json"
@@ -96,6 +101,9 @@ class TestRoundTrip:
         payload["version"] = -1
         path.write_text(json.dumps(payload))
         assert store.get("k") is None
+        # Old-version entries are merely skipped — they are not damaged.
+        assert path.exists()
+        assert store.evictions == 0
 
     def test_clear_empties_store(self, tmp_path):
         store = ResultStore(tmp_path)
@@ -105,3 +113,60 @@ class TestRoundTrip:
         assert store.clear() == 2
         assert len(store) == 0
         assert store.get("a") is None
+
+
+class TestIntegrity:
+    def test_entries_carry_a_digest_of_the_result_payload(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("k", make_result())
+        payload = json.loads((tmp_path / "k.json").read_text())
+        assert payload["sha256"] == result_digest(payload["result"])
+
+    def test_torn_write_is_detected_and_evicted(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("k", make_result())
+        path = tmp_path / "k.json"
+        text = path.read_text()
+        path.write_text(text[:len(text) // 2])
+        assert store.get("k") is None
+        assert not path.exists()
+        assert store.evictions == 1
+        # The cell is simply recomputed and re-persisted.
+        store.put("k", make_result())
+        assert store.get("k") == make_result()
+
+    def test_tampered_result_fails_the_digest_check(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("k", make_result())
+        path = tmp_path / "k.json"
+        payload = json.loads(path.read_text())
+        payload["result"]["cycles"] += 1  # bit-flip without re-digesting
+        path.write_text(json.dumps(payload))
+        assert store.get("k") is None
+        assert store.evictions == 1
+
+    def test_undecodable_result_is_evicted(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("k", make_result())
+        path = tmp_path / "k.json"
+        payload = json.loads(path.read_text())
+        del payload["result"]["benchmark"]
+        payload["sha256"] = result_digest(payload["result"])
+        path.write_text(json.dumps(payload))
+        assert store.get("k") is None
+        assert store.evictions == 1
+
+    def test_fsync_mode_round_trips(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(STORE_FSYNC_ENV, "1")
+        store = ResultStore(tmp_path)
+        assert store.fsync
+        result = make_result()
+        store.put("k", result)
+        assert store.get("k") == result
+
+    def test_clear_sweeps_stray_tmp_files(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("k", make_result())
+        (tmp_path / ".k.999.0.tmp").write_text("crashed mid-write")
+        assert store.clear() == 1
+        assert not list(tmp_path.iterdir())

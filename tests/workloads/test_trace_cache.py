@@ -67,10 +67,32 @@ class TestTraceCache:
         # The packed view survives pickling too.
         assert loaded.thread(0).packed().unpack() == workload.thread(0).ops
 
-    def test_disk_tier_ignores_corrupt_entries(self, tmp_path):
+    def test_disk_tier_evicts_corrupt_entries(self, tmp_path):
         cache = TraceCache(root=tmp_path)
         (tmp_path / "deadbeef.pkl").write_bytes(b"not a pickle")
         assert cache.get("deadbeef") is None
+        # Evicted, not skipped: the next put rewrites the entry cleanly
+        # instead of failing to unpickle on every future run.
+        assert not (tmp_path / "deadbeef.pkl").exists()
+
+    def test_truncated_pickle_is_evicted(self, tmp_path):
+        writer = TraceCache(root=tmp_path)
+        workload = TraceGenerator(get_profile("mcf"), seed=3).generate(100)
+        writer.put("torn", workload)
+        path = tmp_path / "torn.pkl"
+        data = path.read_bytes()
+        path.write_bytes(data[:len(data) // 2])
+        reader = TraceCache(root=tmp_path)
+        assert reader.get("torn") is None
+        assert not path.exists()
+
+    def test_clear_sweeps_stray_tmp_files(self, tmp_path):
+        cache = TraceCache(root=tmp_path)
+        workload = TraceGenerator(get_profile("mcf"), seed=2).generate(50)
+        cache.put("x", workload)
+        (tmp_path / ".x.999.0.tmp").write_bytes(b"crashed mid-write")
+        cache.clear()
+        assert not list(tmp_path.iterdir())
 
     def test_clear_empties_both_tiers(self, tmp_path):
         cache = TraceCache(root=tmp_path)
