@@ -79,7 +79,8 @@ def _store_path(args: argparse.Namespace) -> str:
 
 
 def _build_configs(modes: Sequence[str], machines: Sequence[str],
-                   machine_files: Sequence[str]) -> Dict[str, SystemConfig]:
+                   machine_files: Sequence[str],
+                   engine: str = "vectorized") -> Dict[str, SystemConfig]:
     expanded: List[str] = []
     for mode in modes:
         if mode == "all":
@@ -94,13 +95,17 @@ def _build_configs(modes: Sequence[str], machines: Sequence[str],
         configs[machine] = get_machine(machine)
     for machine_file in machine_files:
         configs[Path(machine_file).stem] = api.resolve_machine(machine_file)
+    if engine == "packed":
+        configs = {label: config.with_vectorized(False)
+                   for label, config in configs.items()}
     return configs
 
 
 def _build_campaign(args: argparse.Namespace) -> Campaign:
     store = None if args.no_store else ResultStore(_store_path(args))
     return api.build_comparison(
-        _build_configs(args.mode, args.machine, args.machine_file),
+        _build_configs(args.mode, args.machine, args.machine_file,
+                       engine=args.engine),
         args.suite,
         baseline=api.DEFAULT_BASELINE,
         instructions=args.instructions,
@@ -134,6 +139,12 @@ def _add_matrix_arguments(parser: argparse.ArgumentParser) -> None:
         help="machine description JSON to evaluate as a series "
              "(repeatable; the format SystemConfig.to_dict() writes; "
              "the series is labelled with the file stem)")
+    parser.add_argument(
+        "--engine", default="vectorized",
+        choices=["vectorized", "packed"],
+        help="packed-trace execution engine (default: %(default)s; the "
+             "engines are golden-tested bit-identical, so this only "
+             "affects wall-clock time and never the results)")
     parser.add_argument("--instructions", type=int, default=None,
                         help="instructions per workload "
                              "(default: REPRO_INSTRUCTIONS or 8000)")

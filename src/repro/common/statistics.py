@@ -69,12 +69,17 @@ class Histogram:
         """The nearest-rank ``p``-th percentile of the samples.
 
         ``percentile(50)`` is the median, ``percentile(99)`` the tail
-        latency summaries quote; an empty histogram reads 0.0.
+        latency summaries quote.  An empty histogram has no percentiles:
+        asking for one raises :class:`ValueError` rather than silently
+        reading 0.0, which a dashboard would mistake for a measured
+        zero-latency tail.
         """
         if not 0 <= p <= 100:
             raise ValueError("percentile must be in [0, 100]")
         if not self._count:
-            return 0.0
+            raise ValueError(
+                f"histogram {self.name!r} is empty: percentiles are "
+                f"undefined (guard with `if histogram.count:`)")
         rank = max(1, math.ceil(self._count * p / 100))
         seen = 0
         for value in sorted(self._buckets):
@@ -84,9 +89,18 @@ class Histogram:
         return float(max(self._buckets))
 
     def stddev(self) -> float:
-        """Population standard deviation of the samples (0.0 when empty)."""
+        """Population standard deviation of the samples.
+
+        A single sample legitimately has deviation 0.0; *no* samples have
+        no deviation at all, so an empty histogram raises
+        :class:`ValueError` instead of returning a 0.0 indistinguishable
+        from a perfectly tight distribution.
+        """
         if not self._count:
-            return 0.0
+            raise ValueError(
+                f"histogram {self.name!r} is empty: the standard "
+                f"deviation is undefined (guard with "
+                f"`if histogram.count:`)")
         mean = self.mean
         variance = sum(weight * (value - mean) ** 2
                        for value, weight in self._buckets.items())

@@ -21,6 +21,11 @@ GEOMEAN_ROW = "geomean"
 #: The annotation rendered in place of a value whose cell was quarantined.
 FAILED_CELL = "FAILED"
 
+#: The geomean footer of a series with no completed (positive) values —
+#: e.g. every cell quarantined.  The aggregate is undefined there; the
+#: historical ``0.000`` read as "this scheme is infinitely fast".
+NO_GEOMEAN_CELL = "n/a"
+
 
 @dataclass
 class Report:
@@ -103,18 +108,38 @@ class Report:
             return FAILED_CELL
         return fmt.format(0.0)
 
+    def _geomean_cell(self, label: str, fmt: str) -> str:
+        """The footer cell for one series: a value, or ``n/a``.
+
+        A series with no completed positive values — every cell
+        quarantined, or an empty hand-built series — has no geometric
+        mean; rendering the ``geometric_mean([])`` fallback of 0.0 would
+        claim a measured (and absurdly good) aggregate for a scheme that
+        produced no data at all.
+        """
+        geomean = self.geomeans.get(label)
+        if geomean:
+            return fmt.format(geomean)
+        if any(value > 0
+               for value in self.series.get(label, {}).values()):
+            return fmt.format(geomean or 0.0)
+        return NO_GEOMEAN_CELL
+
     def rows(self) -> List[List[str]]:
         """Header row, one row per benchmark, geomean footer.
 
         Quarantined cells render as ``FAILED``; the geomean footer is
-        computed over the completed cells only.
+        computed over the completed cells only, and reads ``n/a`` for a
+        series with no completed cells at all.  Every renderer (text,
+        markdown, CSV) goes through here, so they agree on the
+        annotation.
         """
         fmt = f"{{:.{self.precision}f}}"
         header = ["benchmark"] + self.labels
         body = [[benchmark] + [self._cell(benchmark, label, fmt)
                                for label in self.labels]
                 for benchmark in self.benchmarks]
-        footer = [GEOMEAN_ROW] + [fmt.format(self.geomeans.get(label, 0.0))
+        footer = [GEOMEAN_ROW] + [self._geomean_cell(label, fmt)
                                   for label in self.labels]
         return [header] + body + [footer]
 

@@ -73,11 +73,19 @@ class TestCountersAndHistograms:
 
     def test_histogram_percentile_edge_cases(self):
         histogram = Histogram("h")
-        assert histogram.percentile(50) == 0.0        # empty reads 0.0
+        # An empty histogram has no percentiles: a silent 0.0 here once
+        # masqueraded as a measured zero-latency tail in summaries.
+        with pytest.raises(ValueError, match="empty"):
+            histogram.percentile(50)
         with pytest.raises(ValueError):
             histogram.percentile(-1)
         with pytest.raises(ValueError):
             histogram.percentile(100.5)
+        # The out-of-range check wins even on an empty histogram, and one
+        # sample makes every percentile well-defined again.
+        histogram.sample(3)
+        assert histogram.percentile(0) == 3.0
+        assert histogram.percentile(100) == 3.0
 
     @given(st.lists(st.integers(min_value=0, max_value=500),
                     min_size=1, max_size=60))
@@ -94,7 +102,11 @@ class TestCountersAndHistograms:
     def test_histogram_stddev(self):
         import statistics as stdlib_statistics
         histogram = Histogram("h")
-        assert histogram.stddev() == 0.0              # empty reads 0.0
+        # No samples -> undefined, a hard error; one sample -> a genuine
+        # (and genuinely zero) deviation.  The distinction matters: 0.0
+        # on empty read as "perfectly tight distribution".
+        with pytest.raises(ValueError, match="empty"):
+            histogram.stddev()
         histogram.sample(4)
         assert histogram.stddev() == 0.0              # single sample
         histogram.sample(8, weight=2)

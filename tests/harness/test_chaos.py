@@ -152,6 +152,41 @@ class TestQuarantine:
         assert healed.stats.store_hits == len(cells) - len(doomed)
 
 
+class TestSharedTracesUnderChaos:
+    """Worker kills must not corrupt or leak the shared trace registry.
+
+    Parallel campaigns pre-materialise traces into the fork-inherited
+    shared registry; every worker — including the replacements spawned
+    after a kill — attaches to the same read-only pages.  Chaos must not
+    change that story: results stay byte-identical, and the parent always
+    empties the registry once the pool is gone (the fork model has no
+    OS-level segments to unlink, so a leak here would be parent memory
+    pinned across campaigns).
+    """
+
+    def test_killed_workers_leave_shared_traces_intact(self, monkeypatch):
+        from repro.workloads.cache import shared_trace_count
+        clean = make_campaign(jobs=2).run()
+        assert clean.stats.shared_traces == 2
+        assert shared_trace_count() == 0
+        monkeypatch.setenv(FAULTS_ENV, "kill:1.0:5")
+        chaotic = make_campaign(jobs=2).run()
+        assert chaotic.stats.worker_restarts > 0
+        assert chaotic.stats.shared_traces == 2
+        assert not chaotic.failures
+        assert_identical_runs(clean, chaotic)
+        # Cleanup on the chaotic path too: no entries survive the run.
+        assert shared_trace_count() == 0
+
+    def test_quarantine_still_clears_the_registry(self, monkeypatch):
+        from repro.workloads.cache import shared_trace_count
+        monkeypatch.setenv(FAULTS_ENV, "exc:1.0:3:99")
+        result = make_campaign(jobs=2, max_retries=0,
+                               benchmarks=("hmmer",)).run()
+        assert result.failures          # every cell quarantined ...
+        assert shared_trace_count() == 0  # ... and nothing leaked
+
+
 class TestResume:
     def test_resume_recomputes_only_missing_cells(self, tmp_path):
         store = ResultStore(tmp_path)

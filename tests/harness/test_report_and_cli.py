@@ -46,6 +46,44 @@ class TestReport:
             self.make().render("html")
 
 
+class TestGeomeanFooterWithoutData:
+    """A series with no completed cells foots ``n/a``, never 0.000.
+
+    ``geometric_mean([])`` falls back to 0.0, and the footer used to
+    format that fallback as a value — an all-quarantined scheme read as
+    "0.000", i.e. infinitely faster than the baseline, in every renderer.
+    """
+
+    def make(self):
+        # One healthy series beside one with no values at all (the shape
+        # CampaignResult.normalised() produces when every cell of a
+        # series failed: the label survives, its values dict is empty).
+        return Report(benchmarks=["hmmer", "mcf"],
+                      series={"MuonTrap": {"hmmer": 1.05, "mcf": 1.20},
+                              "Broken": {}},
+                      failed={("hmmer", "Broken"), ("mcf", "Broken")})
+
+    def test_text_footer_reads_na(self):
+        rows = self.make().rows()
+        assert rows[-1][0] == "geomean"
+        assert rows[-1][1] == "1.122"          # healthy series unaffected
+        assert rows[-1][2] == "n/a"
+        assert rows[1][2] == "FAILED"          # body cells stay annotated
+
+    def test_every_renderer_agrees(self):
+        report = self.make()
+        assert "n/a" in report.to_text()
+        assert "| n/a |" in report.to_markdown()
+        assert "geomean,1.122,n/a" in report.to_csv()
+        assert "0.000" not in report.render("text")
+
+    def test_explicit_geomeans_are_respected(self):
+        report = Report(benchmarks=["hmmer"],
+                        series={"S": {"hmmer": 0.9}},
+                        geomeans={"S": 0.9})
+        assert report.rows()[-1] == ["geomean", "0.900"]
+
+
 class TestEnvValidation:
     def test_instructions_env_overrides(self, monkeypatch):
         monkeypatch.setenv("REPRO_INSTRUCTIONS", "2500")
@@ -156,3 +194,18 @@ class TestCli:
         out = capsys.readouterr().out
         assert "spec_int (11)" in out
         assert "parsec (7)" in out
+
+    def test_engine_flag_changes_nothing_but_reuses_the_store(self, capsys):
+        # The engines are golden-tested bit-identical and the store key
+        # excludes the engine choice, so a --engine packed re-run of a
+        # vectorized campaign is served entirely from the store — the
+        # strongest CLI-level statement of both properties at once.
+        assert self.run_cli("run", "--suite", "hmmer",
+                            "--mode", "muontrap") == 0
+        first = capsys.readouterr().out
+        assert "2 executed, 0 store hits" in first
+        assert self.run_cli("run", "--suite", "hmmer", "--mode", "muontrap",
+                            "--engine", "packed") == 0
+        second = capsys.readouterr().out
+        assert "0 executed, 2 store hits" in second
+        assert first.splitlines()[-2:] == second.splitlines()[-2:]

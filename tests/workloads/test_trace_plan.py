@@ -1,0 +1,261 @@
+"""Tests for the vectorized-engine trace plan (segmentation + run summaries).
+
+The plan is derived data: ``run_end`` segments a packed trace into maximal
+runs of simple ops sharing one instruction-cache line, and ``vector_runs``
+summarises long full runs for numpy replay.  These tests pin the
+segmentation invariants (property-tested round-trip against the original
+op sequence), the run-summary contents, the empty/single-op edge cases,
+and the rule that plans never travel through pickles.
+"""
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.workloads.trace as trace_module
+from repro.baselines.unprotected import UnprotectedMemorySystem
+from repro.common.params import default_system_config
+from repro.cpu.core import OutOfOrderCore
+from repro.cpu.instructions import MicroOp, OpKind
+from repro.workloads.trace import (
+    COMPLEX_MASK,
+    DEFAULT_LINE_SIZE,
+    VECTOR_MIN_RUN,
+    PackedTrace,
+    TracePlan,
+)
+
+LINE = DEFAULT_LINE_SIZE
+
+
+def _alu(pc, srcs=(), dst=-1, latency=1):
+    return MicroOp(kind=OpKind.INT_ALU, pc=pc,
+                   src_regs=tuple(srcs),
+                   dst_reg=dst if dst >= 0 else None,
+                   execution_latency=latency)
+
+
+def _load(pc, address=0x10_0000, dst=1):
+    return MicroOp(kind=OpKind.LOAD, pc=pc, address=address, dst_reg=dst)
+
+
+# -- hypothesis op-sequence strategy ------------------------------------------
+
+_op_entry = st.tuples(
+    st.sampled_from(["alu", "fp", "nop", "load", "store", "branch"]),
+    st.integers(min_value=0, max_value=3),    # pc stride quirk
+    st.integers(min_value=1, max_value=4),    # latency
+    st.integers(min_value=0, max_value=7),    # src register
+    st.integers(min_value=0, max_value=7),    # dst register
+)
+
+
+def _materialise(entries):
+    """Turn strategy tuples into a MicroOp list with varied pc placement."""
+    ops = []
+    pc = 0x1000
+    for kind, stride, latency, src, dst in entries:
+        if stride == 3:
+            pc += LINE          # force a line crossing
+        if kind == "alu":
+            ops.append(MicroOp(kind=OpKind.INT_ALU, pc=pc, src_regs=(src,),
+                               dst_reg=dst, execution_latency=latency))
+        elif kind == "fp":
+            ops.append(MicroOp(kind=OpKind.FP_ALU, pc=pc, dst_reg=dst,
+                               execution_latency=latency))
+        elif kind == "nop":
+            ops.append(MicroOp(kind=OpKind.NOP, pc=pc))
+        elif kind == "load":
+            ops.append(MicroOp(kind=OpKind.LOAD, pc=pc,
+                               address=0x20_0000 + 64 * src, dst_reg=dst))
+        elif kind == "store":
+            ops.append(MicroOp(kind=OpKind.STORE, pc=pc,
+                               address=0x20_0000 + 64 * src,
+                               src_regs=(src,)))
+        else:
+            ops.append(MicroOp(kind=OpKind.BRANCH, pc=pc, taken=bool(dst & 1),
+                               target=0x3000))
+        pc += 4
+    return ops
+
+
+class TestSegmentation:
+    def test_empty_trace_has_empty_plan(self):
+        packed = PackedTrace.pack([])
+        plan = packed.plan(LINE)
+        assert packed.length == 0
+        assert plan.run_end == []
+        assert plan.vector_runs == {}
+
+    def test_single_simple_op_is_a_run_of_one(self):
+        packed = PackedTrace.pack([_alu(0x1000, dst=1)])
+        plan = packed.plan(LINE)
+        assert plan.run_end == [1]
+        assert plan.vector_runs == {}
+
+    def test_single_complex_op_is_not_a_run(self):
+        packed = PackedTrace.pack([_load(0x1000)])
+        assert packed.plan(LINE).run_end == [0]
+
+    def test_runs_break_at_line_crossings(self):
+        # Four ALU ops, the third on the next cache line: two runs.
+        ops = [_alu(LINE - 8, dst=1), _alu(LINE - 4, dst=2),
+               _alu(LINE, dst=3), _alu(LINE + 4, dst=4)]
+        assert PackedTrace.pack(ops).plan(LINE).run_end == [2, 2, 4, 4]
+
+    def test_runs_break_at_complex_ops(self):
+        ops = [_alu(0x1000, dst=1), _load(0x1004), _alu(0x1008, dst=2),
+               _alu(0x100C, dst=3)]
+        assert PackedTrace.pack(ops).plan(LINE).run_end == [1, 1, 4, 4]
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(_op_entry, max_size=80))
+    def test_segmentation_round_trip(self, entries):
+        """Walking the segments reconstructs the op sequence exactly.
+
+        The property covers the numpy segmentation path end to end: the
+        segments must tile ``[0, n)`` without gaps or overlap (so the
+        concatenation of per-segment op slices equals the original
+        sequence), every batched segment must be entirely simple ops on
+        one line, and every batch must be maximal.
+        """
+        ops = _materialise(entries)
+        packed = PackedTrace.pack(ops)
+        plan = packed.plan(LINE)
+        n = packed.length
+        assert len(plan.run_end) == n
+        covered = []
+        index = 0
+        while index < n:
+            stop = plan.run_end[index]
+            if stop > index:          # a batch of simple same-line ops
+                line = packed.pcs[index] // LINE
+                for i in range(index, stop):
+                    assert not packed.flags[i] & COMPLEX_MASK
+                    assert packed.pcs[i] // LINE == line
+                # Maximality: the batch cannot be extended rightward.
+                assert stop == n or packed.flags[stop] & COMPLEX_MASK \
+                    or packed.pcs[stop] // LINE != line
+                covered.extend(range(index, stop))
+                index = stop
+            else:                     # a complex op, executed scalar
+                assert packed.flags[index] & COMPLEX_MASK
+                covered.append(index)
+                index += 1
+        assert covered == list(range(n))
+        # The concatenation of segment op slices is the original sequence.
+        assert packed.unpack() == ops
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(_op_entry, max_size=60))
+    def test_pure_python_fallback_matches_numpy(self, entries):
+        packed = PackedTrace.pack(_materialise(entries))
+        with_numpy = TracePlan.build(packed, LINE)
+        saved = trace_module._np
+        trace_module._np = None
+        try:
+            without_numpy = TracePlan.build(packed, LINE)
+        finally:
+            trace_module._np = saved
+        assert without_numpy.run_end == with_numpy.run_end
+        # The fallback builds no numpy run summaries, by design.
+        assert without_numpy.vector_runs == {}
+
+
+def _long_run(count, line_base=0x40_000):
+    """``count`` ALU ops on one line: dependency chain through r1."""
+    ops = [MicroOp(kind=OpKind.INT_ALU, pc=line_base, dst_reg=1)]
+    ops += [MicroOp(kind=OpKind.INT_ALU, pc=line_base, src_regs=(1,),
+                    dst_reg=1, execution_latency=2)
+            for _ in range(count - 1)]
+    return ops
+
+
+class TestRunSummaries:
+    def test_threshold_gates_run_plans(self):
+        below = PackedTrace.pack(_long_run(VECTOR_MIN_RUN - 1))
+        at = PackedTrace.pack(_long_run(VECTOR_MIN_RUN))
+        assert below.plan(LINE).vector_runs == {}
+        assert list(at.plan(LINE).vector_runs) == [0]
+
+    def test_run_plan_summarises_reads_and_writes(self):
+        ops = [
+            MicroOp(kind=OpKind.INT_ALU, pc=0x1000, src_regs=(5,),
+                    dst_reg=2, execution_latency=3),
+            MicroOp(kind=OpKind.INT_ALU, pc=0x1000, src_regs=(2, 6),
+                    dst_reg=2),
+            MicroOp(kind=OpKind.INT_ALU, pc=0x1000, src_regs=(2,),
+                    dst_reg=9),
+        ] + [MicroOp(kind=OpKind.NOP, pc=0x1000)] * (VECTOR_MIN_RUN - 3)
+        plan = PackedTrace.pack(ops).plan(LINE)
+        run = plan.vector_runs[0]
+        assert (run.start, run.stop) == (0, len(ops))
+        # r5 and r6 are external reads; r2 at positions 1 and 2 is in-run.
+        assert sorted(zip(run.ext_regs, run.ext_positions.tolist())) \
+            == [(5, 0), (6, 1)]
+        assert run.dep_ops == [(1, (0,)), (2, (1,))]
+        # Only the *last* write per register survives the run.
+        assert sorted(run.final_writes) == [(2, 1), (9, 2)]
+        assert run.max_dst == 9
+        assert run.lat.tolist() == [op.execution_latency for op in ops]
+
+    def test_mid_run_indices_are_not_keys(self):
+        plan = PackedTrace.pack(_long_run(VECTOR_MIN_RUN + 4)).plan(LINE)
+        assert list(plan.vector_runs) == [0]
+        # Every member of the batch knows the batch's end, so an engine
+        # entering mid-run (chunk boundaries) still finds the run end.
+        assert all(end == VECTOR_MIN_RUN + 4
+                   for end in plan.run_end)
+
+
+class TestPlanLifecycle:
+    def test_plans_are_cached_per_line_size(self):
+        packed = PackedTrace.pack(_long_run(8))
+        assert packed.plan(64) is packed.plan(64)
+        assert packed.plan(64) is not packed.plan(32)
+
+    def test_plans_never_travel_through_pickles(self):
+        packed = PackedTrace.pack(_long_run(VECTOR_MIN_RUN))
+        packed.plan(LINE)
+        clone = pickle.loads(pickle.dumps(packed))
+        assert clone._plans is None          # derived data stays home
+        assert clone.unpack() == packed.unpack()
+        # A fresh plan is rebuilt on demand and matches the original.
+        assert clone.plan(LINE).run_end == packed.plan(LINE).run_end
+
+
+class TestEmptyAndSingleOpExecution:
+    """Engine-level pinning: degenerate traces return the entry clock."""
+
+    def _core(self):
+        config = default_system_config()
+        return OutOfOrderCore(0, config, UnprotectedMemorySystem(config))
+
+    def test_empty_trace_is_a_no_op_on_every_engine(self):
+        empty = PackedTrace.pack([])
+        for engine in ("run_packed", "run_vectorized"):
+            core = self._core()
+            # Establish a non-trivial clock first, then run nothing.
+            core.run_packed(PackedTrace.pack(_long_run(4)))
+            before = core.result()
+            clock = getattr(core, engine)(empty)
+            after = core.result()
+            assert clock == core._last_commit_time
+            assert after == before, engine
+
+    def test_single_op_trace_identical_across_engines(self):
+        single = PackedTrace.pack([_alu(0x1000, srcs=(1,), dst=2,
+                                        latency=3)])
+        results = {}
+        for engine in ("run_packed", "run_vectorized"):
+            core = self._core()
+            clock = getattr(core, engine)(single)
+            results[engine] = (clock, core.result())
+        per_op = self._core()
+        per_op.execute_op(single.op(0))
+        results["per-op"] = (per_op._last_commit_time, per_op.result())
+        assert results["run_packed"] == results["run_vectorized"] \
+            == results["per-op"]
+        assert results["run_packed"][1].committed_instructions == 1
