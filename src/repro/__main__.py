@@ -14,7 +14,15 @@ Subcommands:
   :func:`repro.schemes.register_scheme`);
 * ``trace``  — run one benchmark instrumented and write its cycle-level
   event trace (JSONL, optionally Chrome/Perfetto JSON) and periodic
-  metrics snapshots (CSV).
+  metrics snapshots (CSV);
+* ``serve``  — run the simulation service: an HTTP server exposing
+  simulate / compare / sweep (async job queue) over the same store
+  (:mod:`repro.service`);
+* ``version`` — package version, default engine and numpy availability
+  (``--json`` for the machine-readable form behind ``GET /v1/health``);
+* ``store``  — store administration: ``store migrate`` copies a result
+  store between the JSON-directory and SQLite backends, verifying every
+  entry's integrity digest.
 
 Examples::
 
@@ -35,11 +43,14 @@ accepts any registered scheme name, ``--machine`` any preset, and
 
 Environment: ``REPRO_INSTRUCTIONS`` (instructions per workload),
 ``REPRO_JOBS`` (worker count), ``REPRO_STORE`` (result-store directory),
-``REPRO_LOG`` (structured-log level, e.g. ``INFO``), ``REPRO_PROGRESS``
-(force the live progress line on/off), ``REPRO_CELL_TIMEOUT`` /
+``REPRO_STORE_BACKEND`` (``json`` / ``sqlite``), ``REPRO_LOG``
+(structured-log level, e.g. ``INFO``), ``REPRO_PROGRESS`` (force the
+live progress line on/off), ``REPRO_CELL_TIMEOUT`` /
 ``REPRO_MAX_RETRIES`` (supervision policy, see ``--cell-timeout`` /
 ``--max-retries``), ``REPRO_FAULTS`` (deterministic fault injection for
-chaos testing).
+chaos testing), ``REPRO_API_KEYS`` / ``REPRO_RATE_LIMIT`` /
+``REPRO_RATE_BURST`` (service authentication and rate limiting, see
+``serve``).
 
 Campaigns are fault tolerant: failed cells are retried, hung or killed
 workers re-dispatched, and permanently failing cells quarantined (the
@@ -52,7 +63,9 @@ from __future__ import annotations
 
 import argparse
 import os
+import signal
 import sys
+import threading
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
@@ -60,7 +73,11 @@ from repro import api
 from repro.common.params import SystemConfig
 from repro.harness.campaign import Campaign, DEFAULT_SEED
 from repro.harness.report import Report
-from repro.harness.store import ResultStore
+from repro.harness.store import (
+    STORE_BACKENDS,
+    migrate_store,
+    open_store,
+)
 from repro.harness.suites import UnknownSuiteError, resolve_suites, suite_names
 from repro.schemes import (
     available_schemes,
@@ -102,7 +119,8 @@ def _build_configs(modes: Sequence[str], machines: Sequence[str],
 
 
 def _build_campaign(args: argparse.Namespace) -> Campaign:
-    store = None if args.no_store else ResultStore(_store_path(args))
+    store = None if args.no_store else open_store(
+        _store_path(args), backend=args.store_backend)
     return api.build_comparison(
         _build_configs(args.mode, args.machine, args.machine_file,
                        engine=args.engine),
@@ -170,6 +188,11 @@ def _add_matrix_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--store", default=None,
                         help="result-store directory "
                              f"(default: REPRO_STORE or {DEFAULT_STORE})")
+    parser.add_argument("--store-backend", default=None,
+                        choices=STORE_BACKENDS,
+                        help="result-store backend (default: "
+                             "REPRO_STORE_BACKEND, else auto-detected "
+                             "from the store layout, else json)")
     parser.add_argument("--no-store", action="store_true",
                         help="do not read or write the persistent store")
     parser.add_argument("--format", default="text",
@@ -297,13 +320,24 @@ def cmd_report(args: argparse.Namespace) -> int:
 
 
 def cmd_clean(args: argparse.Namespace) -> int:
-    store = ResultStore(_store_path(args))
+    store = open_store(_store_path(args), backend=args.store_backend)
     removed = store.clear()
     print(f"removed {removed} cached results from {store.root}")
     return 0
 
 
+def _print_json(payload) -> None:
+    """Canonical JSON on stdout — the same bytes the service would send."""
+    from repro.service.serialize import canonical_json
+    sys.stdout.buffer.write(canonical_json(payload) + b"\n")
+    sys.stdout.buffer.flush()
+
+
 def cmd_suites(args: argparse.Namespace) -> int:
+    if args.json:
+        from repro.service.serialize import suites_payload
+        _print_json(suites_payload())
+        return 0
     for name in suite_names():
         members = resolve_suites([name])
         print(f"{name} ({len(members)}): {', '.join(members)}")
@@ -312,6 +346,10 @@ def cmd_suites(args: argparse.Namespace) -> int:
 
 def cmd_schemes(args: argparse.Namespace) -> int:
     """List the registered protection schemes with their capabilities."""
+    if args.json:
+        from repro.service.serialize import schemes_payload
+        _print_json(schemes_payload())
+        return 0
     for spec in available_schemes():
         flags = [name.replace("_", "-")
                  for name, enabled in spec.capabilities().items() if enabled]
@@ -357,6 +395,10 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 
 def cmd_machines(args: argparse.Namespace) -> int:
+    if args.json:
+        from repro.service.serialize import machines_payload
+        _print_json(machines_payload())
+        return 0
     for name in machine_names():
         config = get_machine(name)
         cores = ", ".join(
@@ -369,6 +411,84 @@ def cmd_machines(args: argparse.Namespace) -> int:
                for core in config.core_configs()):
             flags = " [insecure scoped-invalidate ablation]"
         print(f"{name} ({config.num_cores} cores){flags}: {cores}")
+    return 0
+
+
+def cmd_version(args: argparse.Namespace) -> int:
+    """Package / capability facts (the CLI face of ``GET /v1/health``)."""
+    from repro.service.serialize import version_payload
+    payload = version_payload()
+    if args.json:
+        _print_json(payload)
+        return 0
+    print(f"repro {payload['version']}")
+    print(f"default engine:  {payload['default_engine']}")
+    numpy_state = ("available" if payload["numpy"]
+                   else "unavailable (packed engine fallback)")
+    print(f"numpy:           {numpy_state}")
+    print(f"store backends:  {', '.join(payload['store_backends'])}")
+    print(f"schemes:         {payload['schemes']} registered")
+    print(f"suites:          {payload['suites']} named")
+    return 0
+
+
+def cmd_store_migrate(args: argparse.Namespace) -> int:
+    """Copy a result store between backends, verifying every digest."""
+    source = open_store(args.source, backend=args.source_backend)
+    dest = open_store(args.dest, backend=args.dest_backend)
+    if source.describe() == dest.describe():
+        print(f"error: source and destination are the same store "
+              f"({source.describe()})", file=sys.stderr)
+        return 2
+    copied, skipped = migrate_store(source, dest)
+    print(f"migrated {copied} entries: {source.describe()} -> "
+          f"{dest.describe()}")
+    if skipped:
+        print(f"skipped {skipped} entries that failed integrity "
+              f"verification (corrupt or stale-version)", file=sys.stderr)
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the simulation service until SIGTERM/SIGINT, then drain."""
+    from repro.service import (
+        ApiKeyAuth,
+        RateLimiter,
+        ReproServer,
+        ServiceConfig,
+    )
+    store = None if args.no_store else open_store(
+        _store_path(args), backend=args.store_backend)
+    auth = ApiKeyAuth.from_env()
+    config = ServiceConfig(
+        host=args.host, port=args.port, store=store,
+        jobs=args.jobs if args.jobs is not None else 1, auth=auth,
+        limiter=RateLimiter.from_env(),
+        queue_workers=args.queue_workers)
+    server = ReproServer(config)
+
+    # Serve on a background thread and park the main thread on an event:
+    # signal handlers only fire on the main thread, so this is the shape
+    # that makes SIGTERM-then-drain work.
+    stop = threading.Event()
+
+    def _request_stop(signum, frame):  # noqa: ARG001 — signal API
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _request_stop)
+    signal.signal(signal.SIGINT, _request_stop)
+    server.start()
+    print(f"serving on {server.url} "
+          f"(auth {'on' if auth.enabled else 'off'}, "
+          f"store {store.describe() if store is not None else 'none'})",
+          flush=True)
+    stop.wait()
+    print("shutting down: draining in-flight jobs...", file=sys.stderr)
+    drained = server.shutdown(drain=True, timeout=args.drain_timeout)
+    if not drained:
+        print(f"warning: jobs still running after {args.drain_timeout}s "
+              f"drain timeout", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -398,20 +518,93 @@ def build_parser() -> argparse.ArgumentParser:
                               help="result-store directory "
                                    f"(default: REPRO_STORE or "
                                    f"{DEFAULT_STORE})")
+    clean_parser.add_argument("--store-backend", default=None,
+                              choices=STORE_BACKENDS,
+                              help="result-store backend (default: "
+                                   "REPRO_STORE_BACKEND or auto-detect)")
     clean_parser.set_defaults(func=cmd_clean)
 
     suites_parser = subparsers.add_parser(
         "suites", help="list the known benchmark suites")
+    suites_parser.add_argument("--json", action="store_true",
+                               help="canonical JSON (the same payload "
+                                    "GET /v1/suites serves)")
     suites_parser.set_defaults(func=cmd_suites)
 
     machines_parser = subparsers.add_parser(
         "machines", help="list the heterogeneous machine presets")
+    machines_parser.add_argument("--json", action="store_true",
+                                 help="canonical JSON (the same payload "
+                                      "GET /v1/machines serves)")
     machines_parser.set_defaults(func=cmd_machines)
 
     schemes_parser = subparsers.add_parser(
         "schemes", help="list the registered protection schemes and "
                         "their capability flags")
+    schemes_parser.add_argument("--json", action="store_true",
+                                help="canonical JSON (the same payload "
+                                     "GET /v1/schemes serves)")
     schemes_parser.set_defaults(func=cmd_schemes)
+
+    version_parser = subparsers.add_parser(
+        "version", help="package version, default engine and numpy "
+                        "availability")
+    version_parser.add_argument("--json", action="store_true",
+                                help="canonical JSON (the same payload "
+                                     "GET /v1/health serves)")
+    version_parser.set_defaults(func=cmd_version)
+
+    store_parser = subparsers.add_parser(
+        "store", help="result-store administration")
+    store_subparsers = store_parser.add_subparsers(dest="store_command",
+                                                   required=True)
+    migrate_parser = store_subparsers.add_parser(
+        "migrate", help="copy a result store between backends, "
+                        "verifying every entry's integrity digest")
+    migrate_parser.add_argument(
+        "source", help="source store (directory, or .sqlite3 file)")
+    migrate_parser.add_argument(
+        "dest", help="destination store (directory, or .sqlite3 file)")
+    migrate_parser.add_argument(
+        "--source-backend", default=None, choices=STORE_BACKENDS,
+        help="source backend (default: auto-detect from layout)")
+    migrate_parser.add_argument(
+        "--dest-backend", default=None, choices=STORE_BACKENDS,
+        help="destination backend (default: auto-detect, else json)")
+    migrate_parser.set_defaults(func=cmd_store_migrate)
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="run the simulation service (HTTP, stdlib only): "
+                      "simulate / compare / sweep over a shared store")
+    serve_parser.add_argument("--host", default="127.0.0.1",
+                              help="bind address (default: %(default)s)")
+    serve_parser.add_argument("--port", type=int, default=8734,
+                              help="bind port; 0 picks a free port "
+                                   "(default: %(default)s)")
+    serve_parser.add_argument("--store", default=None,
+                              help="result-store path "
+                                   f"(default: REPRO_STORE or "
+                                   f"{DEFAULT_STORE})")
+    serve_parser.add_argument("--store-backend", default=None,
+                              choices=STORE_BACKENDS,
+                              help="store backend; sqlite is built for "
+                                   "concurrent access (default: "
+                                   "REPRO_STORE_BACKEND or auto-detect)")
+    serve_parser.add_argument("--no-store", action="store_true",
+                              help="serve without a persistent store "
+                                   "(every request recomputes)")
+    serve_parser.add_argument("--jobs", type=int, default=None,
+                              help="campaign worker processes per job "
+                                   "(default: 1, in-process)")
+    serve_parser.add_argument("--queue-workers", type=int, default=1,
+                              help="concurrent async jobs (default: "
+                                   "%(default)s; 1 serialises jobs, the "
+                                   "strongest exactly-once setting)")
+    serve_parser.add_argument("--drain-timeout", type=float, default=300.0,
+                              metavar="SECONDS",
+                              help="how long shutdown waits for in-flight "
+                                   "jobs (default: %(default)s)")
+    serve_parser.set_defaults(func=cmd_serve)
 
     trace_parser = subparsers.add_parser(
         "trace", help="run one benchmark instrumented and write its "

@@ -41,7 +41,16 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Union,
+)
 
 from repro.common.machine import load_machine, machine_from_dict
 from repro.common.params import (
@@ -427,7 +436,9 @@ def compare(schemes: Union[Sequence[Any], Mapping[str, Any]],
             store: Optional[ResultStore] = None,
             jobs: Optional[int] = None,
             max_retries: Optional[int] = None,
-            cell_timeout: Optional[float] = None) -> ComparisonOutcome:
+            cell_timeout: Optional[float] = None,
+            progress: Optional[Callable[[int, int], None]] = None
+            ) -> ComparisonOutcome:
     """Run a suite × scheme matrix normalised against a baseline.
 
     ``schemes`` is a sequence of scheme names and/or machine-likes (series
@@ -441,7 +452,9 @@ def compare(schemes: Union[Sequence[Any], Mapping[str, Any]],
     ``max_retries`` / ``cell_timeout`` override the ``REPRO_MAX_RETRIES``
     / ``REPRO_CELL_TIMEOUT`` defaults; cells that fail permanently are
     quarantined on ``outcome.result.failures`` rather than aborting the
-    matrix.
+    matrix.  ``progress`` observes ``(done, total)`` over the unique
+    cells (the simulation service uses this for job-status polling);
+    ``None`` keeps the default TTY progress line.
     """
     campaign = build_comparison(
         schemes, suite, machine=machine, baseline=baseline,
@@ -449,7 +462,8 @@ def compare(schemes: Union[Sequence[Any], Mapping[str, Any]],
         warmup_fraction=warmup_fraction, collect_stats=collect_stats,
         store=store, jobs=jobs, max_retries=max_retries,
         cell_timeout=cell_timeout)
-    return ComparisonOutcome(campaign=campaign, result=campaign.run())
+    return ComparisonOutcome(campaign=campaign,
+                             result=campaign.run(progress=progress))
 
 
 def build_comparison(schemes: Union[Sequence[Any], Mapping[str, Any]],
@@ -525,7 +539,9 @@ def sweep(parameter: str, values: Sequence[Any],
           replicates: int = 1,
           warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
           store: Optional[ResultStore] = None,
-          jobs: Optional[int] = None) -> SweepOutcome:
+          jobs: Optional[int] = None,
+          progress: Optional[Callable[[int, int], None]] = None
+          ) -> SweepOutcome:
     """Sweep one configuration parameter across ``values``.
 
     ``parameter`` is a dotted path into :class:`SystemConfig`
@@ -547,7 +563,7 @@ def sweep(parameter: str, values: Sequence[Any],
                          instructions=instructions, seed=seed,
                          replicates=replicates,
                          warmup_fraction=warmup_fraction, store=store,
-                         jobs=jobs)
+                         jobs=jobs, progress=progress)
     return SweepOutcome(parameter=parameter, values=list(values),
                         comparison=comparison)
 

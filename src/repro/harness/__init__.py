@@ -15,9 +15,11 @@ The harness layers on top of :mod:`repro.sim`:
 * :mod:`repro.harness.faults` — deterministic, seed-driven fault
   injection (``REPRO_FAULTS``) used by the chaos test tier to prove the
   fault-tolerance invariants;
-* :mod:`repro.harness.store` — a persistent JSON result store keyed by a
-  stable content hash, with atomic integrity-checked writes, making
-  repeated campaigns incremental and crash-safe;
+* :mod:`repro.harness.store` — a persistent result store keyed by a
+  stable content hash, with atomic integrity-checked writes and two
+  pluggable backends (per-directory JSON files, SQLite in WAL mode),
+  making repeated campaigns incremental, crash-safe and shareable
+  between concurrent processes;
 * :mod:`repro.harness.report` — text / markdown / CSV tables with
   geometric means (quarantined cells annotated as FAILED).
 
@@ -52,8 +54,13 @@ from repro.harness.faults import (
 )
 from repro.harness.report import Report
 from repro.harness.store import (
+    JsonResultStore,
     ResultStore,
+    SqliteResultStore,
+    StoreBackend,
     config_fingerprint,
+    migrate_store,
+    open_store,
     result_from_dict,
     result_to_dict,
     stable_key,
@@ -81,6 +88,7 @@ __all__ = [
     "FaultSpec",
     "FaultSpecError",
     "InjectedFault",
+    "JsonResultStore",
     "PoolExecutor",
     "Report",
     "ResultStore",
@@ -88,11 +96,15 @@ __all__ = [
     "SPEC_FP",
     "SPEC_INT",
     "SerialExecutor",
+    "SqliteResultStore",
+    "StoreBackend",
     "UnknownSuiteError",
     "active_fault_plan",
     "config_fingerprint",
     "derive_seed",
     "execute_cells",
+    "migrate_store",
+    "open_store",
     "parse_fault_specs",
     "register_suite",
     "resolve_suite",

@@ -1,0 +1,48 @@
+"""Simulation-as-a-service: a REST front end for :mod:`repro.api`.
+
+The service turns the reproduction into a long-running shared resource:
+one server process owns a result store (the SQLite-WAL backend is built
+for exactly this), many concurrent clients submit work over HTTP, and
+every cell of every sweep is computed at most once — a widened matrix
+only simulates its missing cells, whoever asks for it.
+
+* :mod:`repro.service.server` — the HTTP server
+  (``python -m repro serve``): ``POST /v1/simulate`` runs synchronously;
+  ``POST /v1/compare`` and ``POST /v1/sweep`` enqueue async jobs polled
+  via ``GET /v1/jobs/<id>``; ``GET /v1/health`` and the listing endpoints
+  (``suites`` / ``schemes`` / ``machines``) mirror the CLI's ``--json``
+  output.  Stdlib only (:class:`http.server.ThreadingHTTPServer`), so
+  tier-1 stays dependency-free and offline.
+* :mod:`repro.service.jobs` — the in-process job queue: jobs are
+  deduplicated by a content hash of their request, so two clients
+  submitting the same matrix share one job (and one computation).
+* :mod:`repro.service.auth` / :mod:`repro.service.ratelimit` — hashed
+  API-key authentication (``REPRO_API_KEYS``) and a deterministic
+  token-bucket rate limiter (``REPRO_RATE_LIMIT`` / ``REPRO_RATE_BURST``).
+* :mod:`repro.service.serialize` — the canonical JSON serialisers shared
+  by the CLI's ``--json`` modes and the HTTP endpoints; outcome payloads
+  are byte-identical to serialising the same :mod:`repro.api` call run
+  inline.
+* :mod:`repro.service.client` — a thin stdlib client
+  (:class:`~repro.service.client.ServiceClient`) used by the tests, the
+  CI smoke job and ``examples/service_quickstart.py``.
+"""
+
+from repro.service.auth import ApiKeyAuth, hash_key
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.jobs import Job, JobQueue
+from repro.service.ratelimit import RateLimiter, TokenBucket
+from repro.service.server import ReproServer, ServiceConfig
+
+__all__ = [
+    "ApiKeyAuth",
+    "Job",
+    "JobQueue",
+    "RateLimiter",
+    "ReproServer",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "TokenBucket",
+    "hash_key",
+]

@@ -1,0 +1,101 @@
+"""Hashed API-key authentication for the simulation service.
+
+Keys are configured through the ``REPRO_API_KEYS`` environment variable
+as a comma-separated list.  Each entry is either a plaintext key (hashed
+with SHA-256 the moment it is read) or a pre-hashed ``sha256:<hexdigest>``
+entry, so deployments never have to put plaintext secrets in process
+environments they don't control.  Only digests are ever held in memory
+and comparisons go through :func:`hmac.compare_digest`, following the
+isnad reference service's never-store-plaintext discipline.
+
+An empty / unset variable disables authentication entirely (a local
+development server); :attr:`ApiKeyAuth.enabled` tells the server whether
+to demand credentials.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import os
+from typing import FrozenSet, Iterable, Optional
+
+#: Environment variable holding the accepted API keys.
+API_KEYS_ENV = "REPRO_API_KEYS"
+
+#: Prefix marking an already-hashed entry in ``REPRO_API_KEYS``.
+_DIGEST_PREFIX = "sha256:"
+
+
+def hash_key(key: str) -> str:
+    """The stored (and compared) form of an API key."""
+    return hashlib.sha256(key.encode("utf-8")).hexdigest()
+
+
+class ApiKeyAuth:
+    """A set of accepted API-key digests.
+
+    Construct from explicit keys (:meth:`from_keys`) or the environment
+    (:meth:`from_env`).  ``authorise(presented)`` hashes the presented
+    key and compares it against every accepted digest in constant time.
+    """
+
+    def __init__(self, digests: Iterable[str] = ()) -> None:
+        self.digests: FrozenSet[str] = frozenset(digests)
+
+    @classmethod
+    def from_keys(cls, *keys: str) -> "ApiKeyAuth":
+        return cls(hash_key(key) for key in keys)
+
+    @classmethod
+    def from_env(cls, raw: Optional[str] = None) -> "ApiKeyAuth":
+        """Parse ``REPRO_API_KEYS`` (or an explicit ``raw`` string).
+
+        Entries are comma-separated; whitespace around entries is
+        ignored; empty entries are skipped.  ``sha256:<hex>`` entries
+        must carry a full 64-character hex digest — anything else is a
+        configuration mistake reported with a clear message.
+        """
+        if raw is None:
+            raw = os.environ.get(API_KEYS_ENV, "")
+        digests = set()
+        for entry in raw.split(","):
+            entry = entry.strip()
+            if not entry:
+                continue
+            if entry.startswith(_DIGEST_PREFIX):
+                digest = entry[len(_DIGEST_PREFIX):].strip().lower()
+                if len(digest) != 64 or any(c not in "0123456789abcdef"
+                                            for c in digest):
+                    raise ValueError(
+                        f"environment variable {API_KEYS_ENV}: "
+                        f"'sha256:' entries must carry a 64-character hex "
+                        f"digest, got {entry!r}")
+                digests.add(digest)
+            else:
+                digests.add(hash_key(entry))
+        return cls(digests)
+
+    @property
+    def enabled(self) -> bool:
+        """Whether the server should demand credentials at all."""
+        return bool(self.digests)
+
+    def authorise(self, presented: Optional[str]) -> bool:
+        """``True`` iff the presented key matches an accepted digest.
+
+        With authentication disabled every request (including one with
+        no key) is authorised.  Comparison is constant-time per digest.
+        """
+        if not self.enabled:
+            return True
+        if not presented:
+            return False
+        digest = hash_key(presented)
+        # any() over compare_digest keeps each comparison constant-time;
+        # the digest set's size is not a secret.
+        return any(hmac.compare_digest(digest, accepted)
+                   for accepted in self.digests)
+
+
+__all__ = ["API_KEYS_ENV", "ApiKeyAuth", "hash_key"]

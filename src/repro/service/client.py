@@ -1,0 +1,153 @@
+"""A thin stdlib client for the simulation service.
+
+:class:`ServiceClient` wraps :mod:`urllib.request` — no third-party HTTP
+library — and speaks the service's JSON dialect: requests are canonical
+JSON, errors surface as :class:`ServiceError` carrying the HTTP status
+and the server's message, and async endpoints come in both explicit
+(``submit_sweep`` + ``wait``) and convenience (``sweep``) forms.
+
+:meth:`ServiceClient.job_result_bytes` returns the server's response
+body *verbatim* — the raw canonical bytes — so callers can diff it
+against ``canonical_json(sweep_payload(api.sweep(...)))`` without any
+parse/re-serialise round trip in between.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional
+
+from repro.service.serialize import canonical_json
+
+
+class ServiceError(Exception):
+    """An HTTP error from the service, with its status and message."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServiceClient:
+    """Talk to one :class:`~repro.service.server.ReproServer`."""
+
+    def __init__(self, base_url: str, api_key: Optional[str] = None,
+                 timeout: float = 60.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.api_key = api_key
+        self.timeout = timeout
+
+    # -- transport ------------------------------------------------------------
+    def _request(self, method: str, path: str,
+                 payload: Optional[Dict[str, Any]] = None) -> bytes:
+        url = f"{self.base_url}{path}"
+        data = canonical_json(payload) if payload is not None else None
+        request = urllib.request.Request(url, data=data, method=method)
+        request.add_header("Content-Type", "application/json")
+        if self.api_key:
+            request.add_header("X-API-Key", self.api_key)
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                return response.read()
+        except urllib.error.HTTPError as exc:
+            body = exc.read()
+            try:
+                message = json.loads(body.decode("utf-8"))["error"]
+            except (ValueError, KeyError, UnicodeDecodeError):
+                message = body.decode("utf-8", "replace") or exc.reason
+            raise ServiceError(exc.code, message) from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(0, f"cannot reach {url}: "
+                               f"{exc.reason}") from None
+
+    def _get(self, path: str) -> Any:
+        return json.loads(self._request("GET", path).decode("utf-8"))
+
+    def _post(self, path: str, payload: Dict[str, Any]) -> Any:
+        return json.loads(
+            self._request("POST", path, payload).decode("utf-8"))
+
+    # -- read-only endpoints --------------------------------------------------
+    def health(self) -> Dict[str, Any]:
+        return self._get("/v1/health")
+
+    def suites(self) -> List[Dict[str, Any]]:
+        return self._get("/v1/suites")
+
+    def schemes(self) -> List[Dict[str, Any]]:
+        return self._get("/v1/schemes")
+
+    def machines(self) -> List[Dict[str, Any]]:
+        return self._get("/v1/machines")
+
+    # -- work -----------------------------------------------------------------
+    def simulate(self, workload: str, **params: Any) -> Dict[str, Any]:
+        """One cell, synchronous; returns the simulation payload."""
+        return self._post("/v1/simulate",
+                          {"workload": workload, **params})
+
+    def submit_compare(self, schemes: List[Any],
+                       **params: Any) -> Dict[str, Any]:
+        """Enqueue a comparison; returns the job's status document."""
+        return self._post("/v1/compare", {"schemes": schemes, **params})
+
+    def submit_sweep(self, parameter: str, values: List[Any],
+                     **params: Any) -> Dict[str, Any]:
+        """Enqueue a sweep; returns the job's status document."""
+        return self._post("/v1/sweep", {"parameter": parameter,
+                                        "values": values, **params})
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        return self._get(f"/v1/jobs/{job_id}")
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        return self._get("/v1/jobs")
+
+    def job_result_bytes(self, job_id: str) -> bytes:
+        """The finished job's result — raw canonical bytes, unparsed."""
+        return self._request("GET", f"/v1/jobs/{job_id}/result")
+
+    def wait(self, job_id: str, timeout: float = 300.0,
+             poll: float = 0.05) -> Dict[str, Any]:
+        """Poll until the job finishes; returns its final status document.
+
+        Raises :class:`ServiceError` (status 0) on timeout and surfaces a
+        failed job's error as ``ServiceError(500, ...)``.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.job(job_id)
+            if status["status"] == "done":
+                return status
+            if status["status"] == "failed":
+                raise ServiceError(500, f"job {job_id} failed: "
+                                   f"{status['error']}")
+            if time.monotonic() >= deadline:
+                raise ServiceError(0, f"job {job_id} still "
+                                   f"{status['status']} after {timeout}s")
+            time.sleep(poll)
+
+    # -- convenience: submit + wait + fetch -----------------------------------
+    def compare(self, schemes: List[Any], timeout: float = 300.0,
+                **params: Any) -> Dict[str, Any]:
+        """Run a comparison end to end; returns the comparison payload."""
+        job = self.submit_compare(schemes, **params)
+        self.wait(job["id"], timeout=timeout)
+        return json.loads(
+            self.job_result_bytes(job["id"]).decode("utf-8"))
+
+    def sweep(self, parameter: str, values: List[Any],
+              timeout: float = 300.0, **params: Any) -> Dict[str, Any]:
+        """Run a sweep end to end; returns the sweep payload."""
+        job = self.submit_sweep(parameter, values, **params)
+        self.wait(job["id"], timeout=timeout)
+        return json.loads(
+            self.job_result_bytes(job["id"]).decode("utf-8"))
+
+
+__all__ = ["ServiceClient", "ServiceError"]

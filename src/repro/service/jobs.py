@@ -1,0 +1,197 @@
+"""The service's async job queue: submit, deduplicate, poll, drain.
+
+Long-running requests (``POST /v1/compare`` / ``POST /v1/sweep``) are
+executed on background worker threads; the HTTP handler returns a job id
+immediately and clients poll ``GET /v1/jobs/<id>`` for status, progress
+(wired to the campaign layer's ``(done, total)`` progress hooks) and the
+final result payload.
+
+Jobs are **deduplicated by content**: the job id is a hash of the
+canonical JSON encoding of ``(kind, params)``, and submitting a request
+whose job already exists — queued, running or completed — returns the
+existing job instead of enqueueing a duplicate.  Combined with the
+shared result store underneath, that is the service's exactly-once
+guarantee: two concurrent clients asking for the same matrix share one
+job, and that job computes each missing cell exactly once.  A *failed*
+job is the exception — resubmitting it replaces the failed record with a
+fresh attempt (the failure may have been environmental).
+
+``drain()`` implements graceful shutdown: stop accepting new jobs, let
+everything queued or running finish, then return — the SIGTERM path of
+``python -m repro serve``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import queue
+import threading
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.service.serialize import canonical_json
+from repro.telemetry.log import get_logger, log_event
+
+#: States a job moves through (strictly forward).
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+
+def job_id_for(kind: str, params: Dict[str, Any]) -> str:
+    """Deterministic job id: a content hash of the canonical request."""
+    digest = hashlib.sha256(
+        canonical_json({"kind": kind, "params": params})).hexdigest()
+    return f"{kind}-{digest[:16]}"
+
+
+class Job:
+    """One asynchronous request and its lifecycle."""
+
+    def __init__(self, job_id: str, kind: str,
+                 params: Dict[str, Any], seq: int) -> None:
+        self.id = job_id
+        self.kind = kind
+        self.params = params
+        self.seq = seq
+        self.status = QUEUED
+        self.done = 0
+        self.total = 0
+        self.error: Optional[str] = None
+        self.result: Optional[Dict[str, Any]] = None
+        #: Quarantined-cell count surfaced without parsing the result.
+        self.failed_cells = 0
+
+    def update_progress(self, done: int, total: int) -> None:
+        """Campaign progress hook (called from the worker thread)."""
+        self.done = done
+        self.total = total
+
+    def payload(self, include_result: bool = False) -> Dict[str, Any]:
+        """The job's status document (what ``GET /v1/jobs/<id>`` returns)."""
+        payload: Dict[str, Any] = {
+            "id": self.id,
+            "kind": self.kind,
+            "status": self.status,
+            "progress": {"done": self.done, "total": self.total},
+            "failed_cells": self.failed_cells,
+            "error": self.error,
+        }
+        if include_result:
+            payload["result"] = self.result
+        return payload
+
+
+class JobQueue:
+    """Background execution with content-hash deduplication.
+
+    ``runner(job)`` executes one job and returns its result payload; it
+    may call ``job.update_progress`` as cells complete.  ``workers``
+    defaults to 1, which serialises job execution — with a shared result
+    store that is the strongest exactly-once-compute setting, since no
+    two jobs can race the same missing cell.
+    """
+
+    def __init__(self, runner: Callable[[Job], Dict[str, Any]],
+                 workers: int = 1) -> None:
+        self._runner = runner
+        self._jobs: Dict[str, Job] = {}
+        self._queue: "queue.Queue[Optional[Job]]" = queue.Queue()
+        self._lock = threading.Lock()
+        self._idle = threading.Condition(self._lock)
+        self._outstanding = 0
+        self._closed = False
+        self._seq = itertools.count()
+        self._logger = get_logger("service.jobs")
+        self._threads = [
+            threading.Thread(target=self._worker, daemon=True,
+                             name=f"repro-job-worker-{index}")
+            for index in range(max(1, workers))]
+        for thread in self._threads:
+            thread.start()
+
+    # -- submission -----------------------------------------------------------
+    def submit(self, kind: str,
+               params: Dict[str, Any]) -> Tuple[Job, bool]:
+        """Enqueue (or join) the job for ``(kind, params)``.
+
+        Returns ``(job, created)``: ``created`` is ``False`` when the
+        request deduplicated onto an existing queued / running / done
+        job.  Raises :class:`RuntimeError` once the queue is draining.
+        """
+        job_id = job_id_for(kind, params)
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("job queue is draining; "
+                                   "no new jobs accepted")
+            existing = self._jobs.get(job_id)
+            if existing is not None and existing.status != FAILED:
+                return existing, False
+            job = Job(job_id, kind, params, next(self._seq))
+            self._jobs[job_id] = job
+            self._outstanding += 1
+        log_event(self._logger, "job_submitted", job=job_id, kind=kind)
+        self._queue.put(job)
+        return job, True
+
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> List[Job]:
+        """All known jobs in submission order."""
+        with self._lock:
+            return sorted(self._jobs.values(), key=lambda job: job.seq)
+
+    # -- execution ------------------------------------------------------------
+    def _worker(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is None:
+                return
+            job.status = RUNNING
+            try:
+                result = self._runner(job)
+            except Exception as exc:  # noqa: BLE001 — reported to clients
+                job.error = f"{type(exc).__name__}: {exc}"
+                job.status = FAILED
+                log_event(self._logger, "job_failed", job=job.id,
+                          error=job.error)
+            else:
+                job.result = result
+                job.status = DONE
+                log_event(self._logger, "job_done", job=job.id,
+                          cells=job.total, failed_cells=job.failed_cells)
+            finally:
+                with self._lock:
+                    self._outstanding -= 1
+                    self._idle.notify_all()
+
+    # -- shutdown -------------------------------------------------------------
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Stop accepting jobs, wait for everything in flight to finish.
+
+        Returns ``True`` when the queue emptied within ``timeout``
+        (``None`` = wait forever).  Idempotent.
+        """
+        with self._lock:
+            self._closed = True
+            drained = self._idle.wait_for(
+                lambda: self._outstanding == 0, timeout=timeout)
+        if drained:
+            self._stop_workers()
+        return drained
+
+    def _stop_workers(self) -> None:
+        for _ in self._threads:
+            self._queue.put(None)
+
+    @property
+    def draining(self) -> bool:
+        with self._lock:
+            return self._closed
+
+
+__all__ = ["DONE", "FAILED", "Job", "JobQueue", "QUEUED", "RUNNING",
+           "job_id_for"]

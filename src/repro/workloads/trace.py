@@ -42,6 +42,16 @@ try:  # numpy accelerates planning and long-run replay; optional.
 except ImportError:  # pragma: no cover - the toolchain ships numpy
     _np = None
 
+
+def numpy_available() -> bool:
+    """Whether the optional numpy acceleration tier is importable.
+
+    Surfaced by ``python -m repro version`` and the service's
+    ``GET /v1/health`` endpoint; results never depend on it (the pure
+    fallbacks are golden-tested bit-identical), only wall-clock does.
+    """
+    return _np is not None
+
 from repro.cpu.instructions import (
     F_BRANCH,
     F_CONTEXT_SWITCH,

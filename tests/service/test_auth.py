@@ -1,0 +1,64 @@
+"""Tests for hashed API-key authentication."""
+
+import hashlib
+
+import pytest
+
+from repro.service.auth import API_KEYS_ENV, ApiKeyAuth, hash_key
+
+
+class TestHashKey:
+    def test_is_sha256_hex(self):
+        assert hash_key("secret") == hashlib.sha256(b"secret").hexdigest()
+
+
+class TestParsing:
+    def test_plaintext_entries_are_hashed_immediately(self):
+        auth = ApiKeyAuth.from_env(raw="alpha,beta")
+        assert auth.digests == {hash_key("alpha"), hash_key("beta")}
+
+    def test_prehashed_entries_are_accepted_verbatim(self):
+        digest = hash_key("gamma")
+        auth = ApiKeyAuth.from_env(raw=f"sha256:{digest}")
+        assert auth.digests == {digest}
+        assert auth.authorise("gamma")
+
+    def test_whitespace_and_empty_entries_are_ignored(self):
+        auth = ApiKeyAuth.from_env(raw=" alpha , , beta ,")
+        assert len(auth.digests) == 2
+
+    def test_malformed_digest_entry_is_a_configuration_error(self):
+        with pytest.raises(ValueError, match="64-character hex"):
+            ApiKeyAuth.from_env(raw="sha256:nothex")
+
+    def test_from_env_reads_the_environment(self, monkeypatch):
+        monkeypatch.setenv(API_KEYS_ENV, "envkey")
+        auth = ApiKeyAuth.from_env()
+        assert auth.authorise("envkey")
+
+    def test_unset_environment_disables_auth(self, monkeypatch):
+        monkeypatch.delenv(API_KEYS_ENV, raising=False)
+        auth = ApiKeyAuth.from_env()
+        assert not auth.enabled
+
+
+class TestAuthorise:
+    def test_accepts_a_configured_key(self):
+        auth = ApiKeyAuth.from_keys("good")
+        assert auth.authorise("good")
+
+    def test_rejects_wrong_missing_and_empty_keys(self):
+        auth = ApiKeyAuth.from_keys("good")
+        assert not auth.authorise("bad")
+        assert not auth.authorise(None)
+        assert not auth.authorise("")
+
+    def test_disabled_auth_authorises_everything(self):
+        auth = ApiKeyAuth()
+        assert not auth.enabled
+        assert auth.authorise(None)
+        assert auth.authorise("anything")
+
+    def test_only_digests_live_in_memory(self):
+        auth = ApiKeyAuth.from_keys("topsecret")
+        assert "topsecret" not in repr(vars(auth))

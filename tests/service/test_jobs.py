@@ -1,0 +1,151 @@
+"""Tests for the async job queue: dedup, lifecycle, drain."""
+
+import threading
+import time
+
+import pytest
+
+from repro.service.jobs import DONE, FAILED, JobQueue, job_id_for
+
+
+def run_to_completion(queue, job, timeout=10.0):
+    """Poll until the worker thread finishes the job (or fail loudly)."""
+    deadline = time.monotonic() + timeout
+    while job.status not in (DONE, FAILED):
+        if time.monotonic() > deadline:
+            raise AssertionError(f"job stuck in {job.status}")
+        time.sleep(0.005)
+
+
+class TestJobIds:
+    def test_content_addressed(self):
+        assert job_id_for("sweep", {"a": 1}) == job_id_for("sweep", {"a": 1})
+        assert job_id_for("sweep", {"a": 1}) != job_id_for("sweep", {"a": 2})
+        assert job_id_for("sweep", {"a": 1}) != job_id_for("compare",
+                                                           {"a": 1})
+
+    def test_id_is_prefixed_with_the_kind(self):
+        assert job_id_for("sweep", {}).startswith("sweep-")
+
+
+class TestLifecycle:
+    def test_success_carries_the_result(self):
+        queue = JobQueue(lambda job: {"answer": job.params["x"] * 2})
+        job, created = queue.submit("compare", {"x": 21})
+        assert created
+        run_to_completion(queue, job)
+        assert job.status == DONE
+        assert job.result == {"answer": 42}
+        assert job.error is None
+
+    def test_failure_carries_the_error(self):
+        def runner(job):
+            raise ValueError("bad matrix")
+
+        queue = JobQueue(runner)
+        job, _ = queue.submit("compare", {})
+        run_to_completion(queue, job)
+        assert job.status == FAILED
+        assert "ValueError: bad matrix" in job.error
+        assert job.result is None
+
+    def test_progress_hook_updates_the_status_document(self):
+        def runner(job):
+            job.update_progress(2, 3)
+            return {}
+
+        queue = JobQueue(runner)
+        job, _ = queue.submit("sweep", {})
+        run_to_completion(queue, job)
+        assert job.payload()["progress"] == {"done": 2, "total": 3}
+
+    def test_payload_hides_result_unless_asked(self):
+        queue = JobQueue(lambda job: {"big": "payload"})
+        job, _ = queue.submit("compare", {})
+        run_to_completion(queue, job)
+        assert "result" not in job.payload()
+        assert job.payload(include_result=True)["result"] \
+            == {"big": "payload"}
+
+
+class TestDedup:
+    def test_identical_submissions_share_one_job(self):
+        release = threading.Event()
+
+        def runner(job):
+            release.wait(timeout=10)
+            return {}
+
+        queue = JobQueue(runner)
+        first, created_first = queue.submit("sweep", {"m": 1})
+        second, created_second = queue.submit("sweep", {"m": 1})
+        release.set()
+        assert created_first and not created_second
+        assert first is second
+
+    def test_completed_jobs_keep_deduplicating(self):
+        calls = []
+        queue = JobQueue(lambda job: calls.append(1) or {})
+        job, _ = queue.submit("sweep", {"m": 1})
+        run_to_completion(queue, job)
+        again, created = queue.submit("sweep", {"m": 1})
+        assert again is job and not created
+        assert len(calls) == 1
+
+    def test_failed_jobs_are_replaced_on_resubmit(self):
+        attempts = []
+
+        def runner(job):
+            attempts.append(1)
+            if len(attempts) == 1:
+                raise RuntimeError("transient")
+            return {"ok": True}
+
+        queue = JobQueue(runner)
+        job, _ = queue.submit("sweep", {"m": 1})
+        run_to_completion(queue, job)
+        assert job.status == FAILED
+        retry, created = queue.submit("sweep", {"m": 1})
+        assert created and retry is not job
+        assert retry.id == job.id
+        run_to_completion(queue, retry)
+        assert retry.status == DONE
+
+    def test_different_requests_get_different_jobs(self):
+        queue = JobQueue(lambda job: {})
+        first, _ = queue.submit("sweep", {"m": 1})
+        second, _ = queue.submit("sweep", {"m": 2})
+        assert first is not second
+        assert first.id != second.id
+
+
+class TestDrain:
+    def test_drain_waits_for_inflight_work(self):
+        started = threading.Event()
+        release = threading.Event()
+
+        def runner(job):
+            started.set()
+            release.wait(timeout=10)
+            return {"done": True}
+
+        queue = JobQueue(runner)
+        job, _ = queue.submit("sweep", {})
+        assert started.wait(timeout=5)
+        # Not drained while the job holds the worker...
+        assert not queue.drain(timeout=0.05)
+        release.set()
+        assert queue.drain(timeout=10)
+        assert job.status == DONE
+
+    def test_draining_queue_rejects_new_jobs(self):
+        queue = JobQueue(lambda job: {})
+        queue.drain(timeout=10)
+        with pytest.raises(RuntimeError, match="draining"):
+            queue.submit("sweep", {})
+
+    def test_jobs_listing_preserves_submission_order(self):
+        queue = JobQueue(lambda job: {})
+        ids = [queue.submit("sweep", {"m": index})[0].id
+               for index in range(3)]
+        assert [job.id for job in queue.jobs()] == ids
